@@ -1,0 +1,50 @@
+// Ablation (DESIGN.md §5.3): scheduler shoot-out. For mergesort on each
+// platform, the time of every execution strategy the framework offers —
+// 1-core sequential, p-core multicore, GPU-only, basic hybrid (§5.1,
+// one unit at a time), and advanced hybrid (§5.2, both overlapped).
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+    using namespace hpu;
+    util::Cli cli(argc, argv);
+    const std::uint64_t n = static_cast<std::uint64_t>(cli.get_int("n", 1 << 20));
+
+    algos::MergesortCoalesced<std::int32_t> alg;
+    core::ExecOptions opts = bench::exec_options(cli);
+    core::AdvancedOptions adv;
+    adv.exec = opts;
+
+    for (const auto& spec : bench::selected_platforms(cli)) {
+        std::vector<std::int32_t> base(n);
+        if (opts.functional) {
+            util::Rng rng(3);
+            base = rng.int_vector(n, 0, static_cast<std::int64_t>(2 * n));
+        }
+        model::AdvancedModel m(spec.params, alg.recurrence(), static_cast<double>(n));
+        const auto opt = m.optimize();
+        const auto y = std::clamp<std::uint64_t>(
+            static_cast<std::uint64_t>(std::llround(opt.y)), 1, util::ilog2(n));
+
+        std::cout << "Scheduler ablation (" << spec.name << "), mergesort, n=" << n << "\n";
+        util::Table t({"strategy", "time (ticks)", "speedup vs 1-core"}, 3);
+        sim::Hpu h(spec.params);
+        auto d = base;
+        const auto seq = core::run_sequential(h.cpu(), alg, std::span(d), opts);
+        t.add_row({std::string("sequential (1 core)"), seq.total, 1.0});
+        d = base;
+        const auto mc = core::run_multicore(h.cpu(), alg, std::span(d), opts);
+        t.add_row({std::string("multicore (p cores)"), mc.total, seq.total / mc.total});
+        d = base;
+        const auto gp = core::run_gpu(h, alg, std::span(d), opts);
+        t.add_row({std::string("gpu only"), gp.total, seq.total / gp.total});
+        d = base;
+        const auto bh = core::run_basic_hybrid(h, alg, std::span(d), opts);
+        t.add_row({std::string("basic hybrid (5.1)"), bh.total, seq.total / bh.total});
+        d = base;
+        const auto ah = core::run_advanced_hybrid(h, alg, std::span(d), opt.alpha, y, adv);
+        t.add_row({std::string("advanced hybrid (5.2)"), ah.total, seq.total / ah.total});
+        bench::emit(t, cli);
+        std::cout << "\n";
+    }
+    return 0;
+}

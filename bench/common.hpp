@@ -1,0 +1,60 @@
+// Shared plumbing for the figure/table reproduction binaries. Each binary
+// regenerates one table or figure of the paper's evaluation (§6.4): it
+// prints the same rows/series the paper reports, on the simulated HPU
+// platforms (see DESIGN.md §2 for the substitution rationale).
+//
+// Common flags:
+//   --csv            emit CSV instead of the aligned table
+//   --platform=HPU1  restrict to one platform where applicable
+//   --n=<elems>      input size (power of two) where applicable
+//   --functional     run task bodies on real data instead of the analytic
+//                    fast path (slower, bit-verified; default off in
+//                    benches — the test suite covers functional parity)
+#pragma once
+
+#include <iostream>
+
+#include "algos/mergesort.hpp"
+#include "core/hybrid.hpp"
+#include "model/advanced.hpp"
+#include "platforms/platforms.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace hpu::bench {
+
+inline void emit(const util::Table& t, const util::Cli& cli) {
+    if (cli.get_bool("csv", false)) {
+        t.print_csv(std::cout);
+    } else {
+        t.print(std::cout);
+    }
+}
+
+inline core::ExecOptions exec_options(const util::Cli& cli) {
+    core::ExecOptions o;
+    o.functional = cli.get_bool("functional", false);
+    return o;
+}
+
+/// Platforms selected by --platform (default: both).
+inline std::vector<platforms::PlatformSpec> selected_platforms(const util::Cli& cli) {
+    if (cli.has("platform")) return {platforms::by_name(cli.get("platform", "HPU1"))};
+    return platforms::all();
+}
+
+/// The 1-core baseline time for mergesort at size n (virtual ticks).
+inline sim::Ticks sequential_mergesort_time(const sim::HpuParams& hw, std::uint64_t n,
+                                            const core::ExecOptions& opts) {
+    sim::CpuUnit cpu(hw.cpu);
+    algos::MergesortCoalesced<std::int32_t> alg;
+    std::vector<std::int32_t> data(n);
+    if (opts.functional) {
+        util::Rng rng(n);
+        data = rng.int_vector(n, 0, static_cast<std::int64_t>(2 * n));
+    }
+    return core::run_sequential(cpu, alg, std::span(data), opts).total;
+}
+
+}  // namespace hpu::bench

@@ -1,0 +1,93 @@
+// Divide-and-conquer binary reductions (sum, min, max, ...) as
+// LevelAlgorithms — the paper's running example (§4.3, Algorithms 4–5)
+// generalized over the combining operation. a = b = 2, f(n) = Θ(1).
+//
+// Task j of a level with `count` tasks owns the slice
+// [j·sz, (j+1)·sz), sz = data.size()/count, and follows Algorithm 4's
+// convention: a subproblem's value lives at its slice's first element, so
+// the combine is slice[0] ⊕= slice[sz/2]. This slice-local layout is what
+// lets the hybrid schedulers split a reduction between the units.
+#pragma once
+
+#include <algorithm>
+#include <string>
+
+#include "core/level_algorithm.hpp"
+
+namespace hpu::algos {
+
+template <typename T, typename Op>
+class BinaryReduce final : public core::LevelAlgorithm<T> {
+public:
+    explicit BinaryReduce(std::string name, Op op = {}) : name_(std::move(name)), op_(op) {}
+
+    std::string name() const override { return name_; }
+    std::uint64_t a() const override { return 2; }
+    std::uint64_t b() const override { return 2; }
+
+    model::Recurrence recurrence() const override {
+        // 1 combine op + 3 words (two reads, one write) per task.
+        return model::sum_recurrence(4.0);
+    }
+
+    void run_task(std::span<T> data, std::uint64_t count, std::uint64_t j,
+                  sim::OpCounter& ops) const override {
+        const std::uint64_t sz = data.size() / count;
+        T* slice = data.data() + j * sz;
+        slice[0] = op_(slice[0], slice[sz / 2]);
+        ops.charge_compute(1);
+        // Adjacent items touch slices sz apart: strided for sz > the
+        // transaction width, which is the common case.
+        ops.charge_mem(3, sim::Pattern::kStrided);
+    }
+
+    double device_ops_multiplier(const sim::DeviceParams& dev) const override {
+        // 1 compute + 3 strided words per task vs 4 CPU ops.
+        return (1.0 + 3.0 * dev.strided_penalty) / 4.0;
+    }
+
+    /// Reductions move almost no memory; the working set of a level is the
+    /// 2·count live slots, not the whole array.
+    std::uint64_t level_working_set_bytes(std::uint64_t /*n*/) const override {
+        return 0;  // never triggers the LLC contention model
+    }
+
+private:
+    std::string name_;
+    Op op_;
+};
+
+template <typename T>
+struct SumOp {
+    T operator()(T x, T y) const { return x + y; }
+};
+template <typename T>
+struct MaxOp {
+    T operator()(T x, T y) const { return std::max(x, y); }
+};
+template <typename T>
+struct MinOp {
+    T operator()(T x, T y) const { return std::min(x, y); }
+};
+
+template <typename T>
+using DcSum = BinaryReduce<T, SumOp<T>>;
+template <typename T>
+using DcMax = BinaryReduce<T, MaxOp<T>>;
+template <typename T>
+using DcMin = BinaryReduce<T, MinOp<T>>;
+
+template <typename T>
+DcSum<T> make_sum() {
+    return DcSum<T>("dc-sum");
+}
+template <typename T>
+DcMax<T> make_max() {
+    return DcMax<T>("dc-max");
+}
+template <typename T>
+DcMin<T> make_min() {
+    return DcMin<T>("dc-min");
+}
+
+}  // namespace hpu::algos

@@ -1,0 +1,255 @@
+// Layer-1 demonstration algorithms: classic divide-and-conquer problems
+// expressed against the fully generic DCAlgorithm concept of §4
+// (core/generic.hpp). They exercise the Algorithm 1 → Algorithm 2
+// translation on problems with non-trivial Result types — the paper's
+// genericity claim is that the rewrite needs no knowledge of these.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace hpu::algos {
+
+/// Array sum as a generic D&C problem (the paper's §4.3 example, Alg. 4).
+class GenericSum {
+public:
+    struct Param {
+        std::span<const std::int64_t> slice;
+    };
+    using Result = std::int64_t;
+
+    bool is_base(const Param& p) const { return p.slice.size() <= 1; }
+    Result base_case(const Param& p) const { return p.slice.empty() ? 0 : p.slice.front(); }
+    std::vector<Param> divide(const Param& p) const {
+        const std::size_t half = p.slice.size() / 2;
+        return {Param{p.slice.subspan(0, half)}, Param{p.slice.subspan(half)}};
+    }
+    Result combine(const Param&, std::span<const Result> rs) const {
+        Result total = 0;
+        for (Result r : rs) total += r;
+        return total;
+    }
+};
+
+/// Maximum contiguous-subarray sum (Kadane's problem solved the D&C way).
+/// Result carries the four classic aggregates so combine is O(1).
+class MaxSubarray {
+public:
+    struct Param {
+        std::span<const std::int64_t> slice;
+    };
+    struct Result {
+        std::int64_t total = 0;   ///< sum of the whole slice
+        std::int64_t best = 0;    ///< best subarray sum (empty allowed → >= 0)
+        std::int64_t prefix = 0;  ///< best prefix sum
+        std::int64_t suffix = 0;  ///< best suffix sum
+    };
+
+    bool is_base(const Param& p) const { return p.slice.size() <= 1; }
+    Result base_case(const Param& p) const {
+        if (p.slice.empty()) return {};
+        const std::int64_t v = p.slice.front();
+        const std::int64_t pos = std::max<std::int64_t>(v, 0);
+        return Result{v, pos, pos, pos};
+    }
+    std::vector<Param> divide(const Param& p) const {
+        const std::size_t half = p.slice.size() / 2;
+        return {Param{p.slice.subspan(0, half)}, Param{p.slice.subspan(half)}};
+    }
+    Result combine(const Param&, std::span<const Result> rs) const {
+        HPU_CHECK(rs.size() == 2, "max-subarray combines exactly two halves");
+        const Result& l = rs[0];
+        const Result& r = rs[1];
+        Result out;
+        out.total = l.total + r.total;
+        out.prefix = std::max(l.prefix, l.total + r.prefix);
+        out.suffix = std::max(r.suffix, r.total + l.suffix);
+        out.best = std::max({l.best, r.best, l.suffix + r.prefix});
+        return out;
+    }
+};
+
+/// Square matrix in row-major order, the operand type of GenericMatmul.
+struct Matrix {
+    std::size_t n = 0;
+    std::vector<double> v;
+
+    static Matrix zero(std::size_t n) { return Matrix{n, std::vector<double>(n * n, 0.0)}; }
+    double& at(std::size_t r, std::size_t c) { return v[r * n + c]; }
+    double at(std::size_t r, std::size_t c) const { return v[r * n + c]; }
+
+    /// Quadrant extraction: q in {0,1,2,3} row-major (00, 01, 10, 11).
+    Matrix quadrant(int q) const {
+        const std::size_t h = n / 2;
+        Matrix m = zero(h);
+        const std::size_t r0 = (q / 2) * h, c0 = (q % 2) * h;
+        for (std::size_t r = 0; r < h; ++r) {
+            for (std::size_t c = 0; c < h; ++c) m.at(r, c) = at(r0 + r, c0 + c);
+        }
+        return m;
+    }
+};
+
+/// 8-way recursive matrix multiplication: C = A·B via eight half-size
+/// products combined with four block additions (a = 8, b = 4 in element
+/// count). Param owns its operands — the generic engine moves them level to
+/// level without knowing their structure.
+class GenericMatmul {
+public:
+    struct Param {
+        Matrix lhs, rhs;
+    };
+    using Result = Matrix;
+
+    bool is_base(const Param& p) const { return p.lhs.n <= 1; }
+    Result base_case(const Param& p) const {
+        Matrix m = Matrix::zero(1);
+        if (p.lhs.n == 1) m.at(0, 0) = p.lhs.at(0, 0) * p.rhs.at(0, 0);
+        return m;
+    }
+    std::vector<Param> divide(const Param& p) const {
+        HPU_CHECK(p.lhs.n % 2 == 0, "matrix size must be a power of two");
+        std::vector<Param> subs;
+        subs.reserve(8);
+        // C_ij = A_i0·B_0j + A_i1·B_1j: children ordered so that combine
+        // can pair 2k and 2k+1.
+        for (int i = 0; i < 2; ++i) {
+            for (int j = 0; j < 2; ++j) {
+                subs.push_back(Param{p.lhs.quadrant(i * 2 + 0), p.rhs.quadrant(0 * 2 + j)});
+                subs.push_back(Param{p.lhs.quadrant(i * 2 + 1), p.rhs.quadrant(1 * 2 + j)});
+            }
+        }
+        return subs;
+    }
+    Result combine(const Param& p, std::span<const Result> rs) const {
+        HPU_CHECK(rs.size() == 8, "8-way matmul combine");
+        const std::size_t h = p.lhs.n / 2;
+        Matrix c = Matrix::zero(p.lhs.n);
+        for (int quad = 0; quad < 4; ++quad) {
+            const Result& x = rs[static_cast<std::size_t>(quad) * 2];
+            const Result& y = rs[static_cast<std::size_t>(quad) * 2 + 1];
+            const std::size_t r0 = (quad / 2) * h, c0 = (quad % 2) * h;
+            for (std::size_t r = 0; r < h; ++r) {
+                for (std::size_t cc = 0; cc < h; ++cc) {
+                    c.at(r0 + r, c0 + cc) = x.at(r, cc) + y.at(r, cc);
+                }
+            }
+        }
+        return c;
+    }
+};
+
+/// Karatsuba polynomial multiplication: a THREE-way recursion (a = 3,
+/// b = 2) — exercises the generic engine on a branching factor the array
+/// executors don't special-case. Param owns its coefficient vectors.
+class Karatsuba {
+public:
+    struct Param {
+        std::vector<std::int64_t> lhs, rhs;  // equal length, power of two
+    };
+    using Result = std::vector<std::int64_t>;  // product coefficients
+
+    bool is_base(const Param& p) const { return p.lhs.size() <= 1; }
+    Result base_case(const Param& p) const {
+        if (p.lhs.empty()) return {};
+        return {p.lhs[0] * p.rhs[0]};
+    }
+    std::vector<Param> divide(const Param& p) const {
+        const std::size_t h = p.lhs.size() / 2;
+        auto lo = [h](const std::vector<std::int64_t>& v) {
+            return std::vector<std::int64_t>(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(h));
+        };
+        auto hi = [h](const std::vector<std::int64_t>& v) {
+            return std::vector<std::int64_t>(v.begin() + static_cast<std::ptrdiff_t>(h), v.end());
+        };
+        auto sum = [h](const std::vector<std::int64_t>& v) {
+            std::vector<std::int64_t> s(h);
+            for (std::size_t i = 0; i < h; ++i) s[i] = v[i] + v[i + h];
+            return s;
+        };
+        // Children: lo·lo, hi·hi, (lo+hi)·(lo+hi).
+        return {Param{lo(p.lhs), lo(p.rhs)}, Param{hi(p.lhs), hi(p.rhs)},
+                Param{sum(p.lhs), sum(p.rhs)}};
+    }
+    Result combine(const Param& p, std::span<const Result> rs) const {
+        HPU_CHECK(rs.size() == 3, "karatsuba combines three products");
+        const std::size_t n = p.lhs.size(), h = n / 2;
+        const Result& low = rs[0];
+        const Result& high = rs[1];
+        const Result& mid = rs[2];
+        Result out(2 * n - 1, 0);
+        for (std::size_t i = 0; i < low.size(); ++i) out[i] += low[i];
+        for (std::size_t i = 0; i < high.size(); ++i) out[i + n] += high[i];
+        for (std::size_t i = 0; i < mid.size(); ++i) {
+            out[i + h] += mid[i] - low[i] - high[i];
+        }
+        return out;
+    }
+};
+
+/// Strassen's matrix multiplication: a SEVEN-way recursion (a = 7, b = 4 in
+/// element count) with a combine that mixes the products with signs — the
+/// heaviest stress on the generic engine's Result plumbing.
+class Strassen {
+public:
+    struct Param {
+        Matrix lhs, rhs;
+    };
+    using Result = Matrix;
+
+    bool is_base(const Param& p) const { return p.lhs.n <= 1; }
+    Result base_case(const Param& p) const {
+        Matrix m = Matrix::zero(1);
+        if (p.lhs.n == 1) m.at(0, 0) = p.lhs.at(0, 0) * p.rhs.at(0, 0);
+        return m;
+    }
+    std::vector<Param> divide(const Param& p) const {
+        HPU_CHECK(p.lhs.n % 2 == 0, "matrix size must be a power of two");
+        const Matrix a11 = p.lhs.quadrant(0), a12 = p.lhs.quadrant(1);
+        const Matrix a21 = p.lhs.quadrant(2), a22 = p.lhs.quadrant(3);
+        const Matrix b11 = p.rhs.quadrant(0), b12 = p.rhs.quadrant(1);
+        const Matrix b21 = p.rhs.quadrant(2), b22 = p.rhs.quadrant(3);
+        auto add = [](const Matrix& x, const Matrix& y) {
+            Matrix r = Matrix::zero(x.n);
+            for (std::size_t i = 0; i < x.v.size(); ++i) r.v[i] = x.v[i] + y.v[i];
+            return r;
+        };
+        auto sub = [](const Matrix& x, const Matrix& y) {
+            Matrix r = Matrix::zero(x.n);
+            for (std::size_t i = 0; i < x.v.size(); ++i) r.v[i] = x.v[i] - y.v[i];
+            return r;
+        };
+        return {
+            Param{add(a11, a22), add(b11, b22)},  // M1
+            Param{add(a21, a22), b11},            // M2
+            Param{a11, sub(b12, b22)},            // M3
+            Param{a22, sub(b21, b11)},            // M4
+            Param{add(a11, a12), b22},            // M5
+            Param{sub(a21, a11), add(b11, b12)},  // M6
+            Param{sub(a12, a22), add(b21, b22)},  // M7
+        };
+    }
+    Result combine(const Param& p, std::span<const Result> rs) const {
+        HPU_CHECK(rs.size() == 7, "strassen combines seven products");
+        const std::size_t h = p.lhs.n / 2;
+        const Result &m1 = rs[0], &m2 = rs[1], &m3 = rs[2], &m4 = rs[3], &m5 = rs[4],
+                     &m6 = rs[5], &m7 = rs[6];
+        Matrix c = Matrix::zero(p.lhs.n);
+        for (std::size_t r = 0; r < h; ++r) {
+            for (std::size_t cc = 0; cc < h; ++cc) {
+                c.at(r, cc) = m1.at(r, cc) + m4.at(r, cc) - m5.at(r, cc) + m7.at(r, cc);
+                c.at(r, cc + h) = m3.at(r, cc) + m5.at(r, cc);
+                c.at(r + h, cc) = m2.at(r, cc) + m4.at(r, cc);
+                c.at(r + h, cc + h) =
+                    m1.at(r, cc) - m2.at(r, cc) + m3.at(r, cc) + m6.at(r, cc);
+            }
+        }
+        return c;
+    }
+};
+
+}  // namespace hpu::algos

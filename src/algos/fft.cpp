@@ -1,0 +1,20 @@
+#include "algos/fft.hpp"
+
+namespace hpu::algos {
+
+std::vector<std::complex<double>> naive_dft(std::span<const std::complex<double>> in) {
+    const std::size_t n = in.size();
+    std::vector<std::complex<double>> out(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        std::complex<double> acc(0.0, 0.0);
+        for (std::size_t t = 0; t < n; ++t) {
+            const double ang = -2.0 * std::numbers::pi * static_cast<double>(k) *
+                               static_cast<double>(t) / static_cast<double>(n);
+            acc += in[t] * std::complex<double>(std::cos(ang), std::sin(ang));
+        }
+        out[k] = acc;
+    }
+    return out;
+}
+
+}  // namespace hpu::algos

@@ -1,0 +1,99 @@
+// Radix-2 FFT as a LevelAlgorithm — a second real workload with exactly the
+// mergesort recurrence shape (a = b = 2, f(n) = Θ(n)), demonstrating that
+// the framework's schedulers and the §5 model apply beyond sorting.
+//
+// The divide step of the recursive FFT (split into even/odd subsequences)
+// is hoisted into a single bit-reversal pre-pass (before_run), after which
+// every level's butterflies are slice-local — precisely the iterative
+// Cooley-Tukey schedule, which *is* the breadth-first rewrite of the
+// recursive FFT.
+#pragma once
+
+#include <complex>
+#include <numbers>
+
+#include "core/level_algorithm.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace hpu::algos {
+
+class DcFft final : public core::LevelAlgorithm<std::complex<double>> {
+public:
+    using Complex = std::complex<double>;
+
+    std::string name() const override { return "dc-fft"; }
+    std::uint64_t a() const override { return 2; }
+    std::uint64_t b() const override { return 2; }
+
+    model::Recurrence recurrence() const override {
+        model::Recurrence r;
+        r.a = 2.0;
+        r.b = 2.0;
+        // Per output element: 2.5 flops of butterfly + 2.5 words of
+        // traffic — must equal run_task's charges (tests enforce it).
+        r.f = [](double m) { return 5.0 * m; };
+        r.leaf_cost = 1.0;
+        return r;
+    }
+
+    void before_run(std::span<Complex> data, sim::OpCounter& ops) const override {
+        // Bit-reversal permutation: the hoisted divide steps of the whole
+        // recursion tree (each level's even/odd split, applied at once).
+        const std::uint64_t n = data.size();
+        HPU_CHECK(util::is_pow2(n), "FFT needs a power-of-two size");
+        const std::uint32_t bits = util::ilog2(n);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            std::uint64_t r = 0;
+            for (std::uint32_t k = 0; k < bits; ++k) r |= ((i >> k) & 1) << (bits - 1 - k);
+            if (r > i) std::swap(data[i], data[r]);
+        }
+        ops.charge_compute(n);
+        ops.charge_mem(2 * n, sim::Pattern::kStrided);
+    }
+
+    void run_task(std::span<Complex> data, std::uint64_t count, std::uint64_t j,
+                  sim::OpCounter& ops) const override {
+        // Combine two half-size DFTs occupying the slice's halves into one
+        // DFT of the whole slice.
+        const std::uint64_t sz = data.size() / count;
+        const std::uint64_t half = sz / 2;
+        Complex* lo = data.data() + j * sz;
+        Complex* hi = lo + half;
+        const double ang = -2.0 * std::numbers::pi / static_cast<double>(sz);
+        const Complex w(std::cos(ang), std::sin(ang));
+        Complex wk(1.0, 0.0);
+        for (std::uint64_t k = 0; k < half; ++k) {
+            const Complex t = wk * hi[k];
+            hi[k] = lo[k] - t;
+            lo[k] = lo[k] + t;
+            wk *= w;
+        }
+        // ~5 flops per output element (complex mul + 2 adds over sz
+        // outputs) and 2 complex words in/out per element.
+        ops.charge_compute(5 * sz / 2);
+        ops.charge_mem(2 * sz + sz / 2, sim::Pattern::kStrided);
+    }
+
+    sim::Pattern device_pattern() const override { return sim::Pattern::kCoalesced; }
+
+    void run_device_task(std::span<Complex> data, std::uint64_t count, std::uint64_t j,
+                         sim::OpCounter& ops) const override {
+        // Same butterflies, but priced as coalesced: production GPU FFTs
+        // use the Stockham autosort layout — the FFT analogue of the §6.3
+        // interleaving — whose per-level traffic is coalesced and whose
+        // total op count matches the natural-layout butterfly. We keep the
+        // natural layout functionally (results are bit-identical) and
+        // charge the Stockham access pattern.
+        const std::uint64_t sz = data.size() / count;
+        sim::OpCounter local;
+        run_task(data, count, j, local);
+        ops.charge_compute(local.compute);
+        ops.charge_mem(2 * sz + sz / 2, sim::Pattern::kCoalesced);
+    }
+};
+
+/// Reference O(n²) DFT for tests.
+std::vector<std::complex<double>> naive_dft(std::span<const std::complex<double>> in);
+
+}  // namespace hpu::algos

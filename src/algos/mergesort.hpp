@@ -1,0 +1,179 @@
+// The paper's case study (§6): mergesort as a LevelAlgorithm, in two
+// variants.
+//
+// MergesortPlain — the direct §4 translation (Alg. 7): task j of a level
+// with `count` tasks merges the two sorted halves of its slice. The same
+// body runs on a CPU core or as a GPU work-item; on the device its
+// sequential slice walk is uncoalesced across the wave and pays the SIMT
+// memory penalty.
+//
+// MergesortCoalesced — adds the §6.3 optimization: on the device, runs are
+// kept in an interleaved layout (element k of run j at index k·runs + j) so
+// that adjacent work-items touch adjacent words. Levels ping-pong between
+// the data buffer and a scratch buffer; a final un-interleave restores
+// row-major order before the array returns to the CPU — the optimization is
+// transparent to the CPU side, exactly as in the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/level_algorithm.hpp"
+#include "util/check.hpp"
+
+namespace hpu::algos {
+
+template <typename T>
+class MergesortPlain : public core::LevelAlgorithm<T> {
+public:
+    std::string name() const override { return "mergesort"; }
+    std::uint64_t a() const override { return 2; }
+    std::uint64_t b() const override { return 2; }
+
+    model::Recurrence recurrence() const override {
+        // Per output element: 1 comparison + 2.5 words (stage the left
+        // half: 0.5, then read + write each element) — see run_task.
+        return model::mergesort_recurrence(3.5);
+    }
+
+    void prepare(std::uint64_t n) const override { scratch_.resize(n); }
+
+    void run_task(std::span<T> data, std::uint64_t count, std::uint64_t j,
+                  sim::OpCounter& ops) const override {
+        merge_slice(data, count, j, ops, sim::Pattern::kStrided);
+    }
+
+    double device_ops_multiplier(const sim::DeviceParams& dev) const override {
+        // CPU ops per element: 1 compute + 2.5 mem = 3.5. On the device
+        // the words pay the strided penalty.
+        return (1.0 + 2.5 * dev.strided_penalty) / 3.5;
+    }
+
+protected:
+    /// Classic merge with the copy-left-half trick: stage [lo, mid) in
+    /// scratch, then merge scratch and [mid, hi) back into [lo, hi).
+    /// Charges: sz/2 staged words + per output element one compare, one
+    /// read, one write.
+    void merge_slice(std::span<T> data, std::uint64_t count, std::uint64_t j,
+                     sim::OpCounter& ops, sim::Pattern pattern) const {
+        const std::uint64_t sz = data.size() / count;
+        const std::uint64_t lo = j * sz, mid = lo + sz / 2, hi = lo + sz;
+        HPU_CHECK(scratch_.size() >= data.size(), "prepare() was not called");
+        T* left = scratch_.data() + lo;
+        std::copy(data.begin() + static_cast<std::ptrdiff_t>(lo),
+                  data.begin() + static_cast<std::ptrdiff_t>(mid), left);
+        std::uint64_t i = 0, r = mid, k = lo;
+        const std::uint64_t nl = mid - lo;
+        while (i < nl && r < hi) {
+            data[k++] = left[i] <= data[r] ? left[i++] : data[r++];
+        }
+        while (i < nl) data[k++] = left[i++];
+        // Tail of the right run is already in place.
+        ops.charge_compute(sz);
+        ops.charge_mem(sz / 2 + 2 * sz, pattern);
+    }
+
+    mutable std::vector<T> scratch_;
+};
+
+template <typename T>
+class MergesortCoalesced final : public MergesortPlain<T> {
+public:
+    std::string name() const override { return "mergesort-coalesced"; }
+
+    sim::Pattern device_pattern() const override { return sim::Pattern::kCoalesced; }
+
+    double device_ops_multiplier(const sim::DeviceParams&) const override {
+        // Device ops per element: 1 compute + 2 coalesced words = 3, vs
+        // 3.5 CPU ops from the recurrence.
+        return 3.0 / 3.5;
+    }
+
+    void before_gpu_levels(std::span<T> device_data, std::uint64_t /*deepest_count*/,
+                           sim::OpCounter& /*ops*/) const override {
+        // Size-1 runs make the interleaved layout the identity — no
+        // initial permutation cost, the layout simply *stays* interleaved
+        // as the levels climb.
+        dscratch_.resize(device_data.size());
+        cur_is_scratch_ = false;
+        runs_ = device_data.size();
+    }
+
+    void run_device_task(std::span<T> data, std::uint64_t count, std::uint64_t j,
+                         sim::OpCounter& ops) const override {
+        HPU_CHECK(runs_ == 2 * count, "interleaved layout out of sync with the level");
+        const std::uint64_t in_runs = 2 * count;
+        const std::uint64_t m = data.size() / in_runs;  // input run length
+        const T* src = cur_is_scratch_ ? dscratch_.data() : data.data();
+        T* dst = cur_is_scratch_ ? data.data() : dscratch_.data();
+        auto src_at = [&](std::uint64_t run, std::uint64_t k) {
+            return src[k * in_runs + run];
+        };
+        std::uint64_t ia = 0, ib = 0, k = 0;
+        const std::uint64_t ra = 2 * j, rb = 2 * j + 1;
+        while (ia < m && ib < m) {
+            const T va = src_at(ra, ia), vb = src_at(rb, ib);
+            if (va <= vb) {
+                dst[k * count + j] = va;
+                ++ia;
+            } else {
+                dst[k * count + j] = vb;
+                ++ib;
+            }
+            ++k;
+        }
+        while (ia < m) dst[k++ * count + j] = src_at(ra, ia++);
+        while (ib < m) dst[k++ * count + j] = src_at(rb, ib++);
+        // 1 compare + 2 coalesced words per output element.
+        ops.charge_compute(2 * m);
+        ops.charge_mem(4 * m, sim::Pattern::kCoalesced);
+    }
+
+    void after_gpu_level(std::span<T> /*device_data*/, std::uint64_t count,
+                         sim::OpCounter& /*ops*/) const override {
+        cur_is_scratch_ = !cur_is_scratch_;
+        runs_ = count;
+    }
+
+    void after_gpu_levels(std::span<T> device_data, std::uint64_t count,
+                          sim::OpCounter& ops) const override {
+        HPU_CHECK(runs_ == count, "interleaved layout out of sync at readback");
+        if (runs_ == device_data.size()) return;  // identity layout, nothing ran
+        const std::uint64_t m = device_data.size() / runs_;
+        // Un-interleave back to row-major so the CPU sees ordinary runs —
+        // "the array is permuted back to the original arrangement" (§6.3).
+        if (cur_is_scratch_) {
+            for (std::uint64_t j = 0; j < runs_; ++j) {
+                for (std::uint64_t k = 0; k < m; ++k) {
+                    device_data[j * m + k] = dscratch_[k * runs_ + j];
+                }
+            }
+        } else {
+            std::copy(device_data.begin(), device_data.end(), dscratch_.begin());
+            for (std::uint64_t j = 0; j < runs_; ++j) {
+                for (std::uint64_t k = 0; k < m; ++k) {
+                    device_data[j * m + k] = dscratch_[k * runs_ + j];
+                }
+            }
+        }
+        cur_is_scratch_ = false;
+        // A tiled device transpose moves each word twice, coalesced.
+        ops.charge_mem(2 * device_data.size(), sim::Pattern::kCoalesced);
+        ops.charge_compute(device_data.size() / 4);
+    }
+
+    sim::OpCounter analytic_gpu_hook_ops(std::uint64_t region_elems) const override {
+        // Only the final un-interleave charges (see after_gpu_levels).
+        sim::OpCounter ops;
+        ops.charge_mem(2 * region_elems, sim::Pattern::kCoalesced);
+        ops.charge_compute(region_elems / 4);
+        return ops;
+    }
+
+private:
+    mutable std::vector<T> dscratch_;
+    mutable bool cur_is_scratch_ = false;
+    mutable std::uint64_t runs_ = 0;
+};
+
+}  // namespace hpu::algos

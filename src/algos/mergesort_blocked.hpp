@@ -1,0 +1,59 @@
+// The paper's §7 future work, item 2: "switch to non-recursive sequential
+// versions of the algorithms at the lowest levels of the tree". Blocked
+// mergesort stops the recursion at blocks of `block` elements and solves
+// each block with sequential insertion sort — trading the deepest (and
+// cheapest-per-task) merge levels for fewer, fatter base cases. The optimal
+// block size "would have to be determined either analytically or
+// experimentally" (§7) — bench/ablation_blocked sweeps it.
+#pragma once
+
+#include "algos/mergesort.hpp"
+
+namespace hpu::algos {
+
+template <typename T>
+class MergesortBlocked final : public MergesortPlain<T> {
+public:
+    explicit MergesortBlocked(std::uint64_t block = 16) : block_(block) {
+        HPU_CHECK(util::is_pow2(block) && block >= 1, "block size must be a power of two");
+    }
+
+    std::string name() const override { return "mergesort-blocked"; }
+    std::uint64_t base_size() const override { return block_; }
+    bool has_leaf_work() const override { return block_ > 1; }
+
+    model::Recurrence recurrence() const override {
+        model::Recurrence r = MergesortPlain<T>::recurrence();
+        r.base_size = static_cast<double>(block_);
+        // Insertion sort on a random block: ~B²/4 compares+moves plus the
+        // B-element pass; charged per block in run_leaf.
+        const double B = static_cast<double>(block_);
+        r.leaf_cost = B * B / 4.0 + B;
+        return r;
+    }
+
+    void run_leaf(std::span<T> data, std::uint64_t leaf_count, std::uint64_t j,
+                  sim::OpCounter& ops) const override {
+        const std::uint64_t sz = data.size() / leaf_count;
+        T* blk = data.data() + j * sz;
+        std::uint64_t moves = 0;
+        for (std::uint64_t i = 1; i < sz; ++i) {
+            T v = blk[i];
+            std::uint64_t k = i;
+            while (k > 0 && blk[k - 1] > v) {
+                blk[k] = blk[k - 1];
+                --k;
+                ++moves;
+            }
+            blk[k] = v;
+        }
+        // Data-dependent charge: compares+shifts plus the scan itself.
+        ops.charge_compute(moves + sz);
+        ops.charge_mem(sz, sim::Pattern::kStrided);
+    }
+
+private:
+    std::uint64_t block_;
+};
+
+}  // namespace hpu::algos

@@ -1,0 +1,79 @@
+#include "algos/parallel_merge.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/buffer.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace hpu::algos {
+
+namespace {
+
+/// Per-item device cost of one parallel-merge level with input run length
+/// r: read own element + write merged element (coalesced — adjacent items
+/// write adjacent-or-near positions), plus the binary search over the
+/// sibling run, charged as compute (its log r probes hit cached segments).
+double item_ops(std::uint64_t run_len) {
+    return 2.0 /* mem words */ + 1.0 + static_cast<double>(util::ilog2(run_len) + 1);
+}
+
+}  // namespace
+
+ParallelGpuReport mergesort_gpu_parallel(sim::Hpu& hpu, std::span<std::int32_t> data,
+                                         const core::ExecOptions& opts) {
+    const std::uint64_t n = data.size();
+    HPU_CHECK(util::is_pow2(n) && n >= 2, "parallel GPU mergesort needs a power-of-two size");
+    sim::Device& dev = hpu.gpu();
+    ParallelGpuReport rep;
+    rep.transfer_time = 2.0 * hpu.transfer_time(n);
+
+    if (!opts.functional) {
+        for (std::uint64_t r = 1; r < n; r *= 2) {
+            rep.sort_time += dev.uniform_launch_time(n, item_ops(r));
+        }
+        return rep;
+    }
+
+    sim::DeviceBuffer<std::int32_t> buf{std::vector<std::int32_t>(data.begin(), data.end())};
+    buf.copy_to_device();
+    std::vector<std::int32_t> scratch(n);
+    std::int32_t* cur = buf.device().data();
+    std::int32_t* nxt = scratch.data();
+
+    for (std::uint64_t r = 1; r < n; r *= 2) {
+        const auto launch = dev.launch(n, [&](sim::WorkItem& wi) {
+            const std::uint64_t t = wi.global_id();
+            const std::uint64_t run = t / r;         // index of my run
+            const std::uint64_t pair = run / 2;      // merged pair index
+            const std::uint64_t idx = t % r;         // my rank within my run
+            const bool left = (run % 2) == 0;
+            const std::int32_t v = cur[t];
+            // Sibling run occupies [sib_lo, sib_lo + r).
+            const std::uint64_t sib_lo = (left ? run + 1 : run - 1) * r;
+            const std::int32_t* sib = cur + sib_lo;
+            // Rank of v in the sibling: lower_bound from the left run,
+            // upper_bound from the right run — a stable tie-break.
+            const std::uint64_t rank = static_cast<std::uint64_t>(
+                (left ? std::lower_bound(sib, sib + r, v) : std::upper_bound(sib, sib + r, v)) -
+                sib);
+            nxt[pair * 2 * r + idx + rank] = v;
+            wi.charge_compute(1 + util::ilog2(r) + 1);
+            wi.charge_mem(2, sim::Pattern::kCoalesced);
+        });
+        rep.sort_time += launch.time;
+        std::swap(cur, nxt);
+    }
+    // Land the sorted data back in the device buffer if the last level wrote
+    // into scratch (no virtual cost: a real implementation ping-pongs and
+    // reads back from whichever buffer holds the result).
+    if (cur != buf.device().data()) {
+        std::copy(scratch.begin(), scratch.end(), buf.device().begin());
+    }
+    buf.copy_to_host();
+    std::copy(buf.host_view().begin(), buf.host_view().end(), data.begin());
+    return rep;
+}
+
+}  // namespace hpu::algos

@@ -1,0 +1,33 @@
+// GPU-only mergesort with a *parallel* merge (the Fig. 9 comparator): the
+// recursion tree still executes breadth-first, but within a level every
+// ELEMENT is a work-item. An element finds its position in the merged run
+// by binary-searching the sibling run — O(log r) work per element, O(n) items
+// per level, which is what lets large inputs saturate thousands of lanes.
+//
+// This deliberately breaks the paper's "sequential combine" framework
+// assumption (§5: "we do not consider parallelizations of divide and
+// combine functions") — it is the fully data-parallel alternative the paper
+// measures against its generic approach.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/executors.hpp"
+#include "sim/hpu.hpp"
+
+namespace hpu::algos {
+
+struct ParallelGpuReport {
+    sim::Ticks sort_time = 0.0;      ///< kernel time only (Fig. 9 "sort")
+    sim::Ticks transfer_time = 0.0;  ///< both transfers (Fig. 9 "+ transfer")
+    sim::Ticks total() const noexcept { return sort_time + transfer_time; }
+};
+
+/// Sorts `data` (size a power of two) on the device with the binary-search
+/// merge. In functional mode the host array is really sorted; in analytic
+/// mode only the virtual times are produced.
+ParallelGpuReport mergesort_gpu_parallel(sim::Hpu& hpu, std::span<std::int32_t> data,
+                                         const core::ExecOptions& opts = {});
+
+}  // namespace hpu::algos

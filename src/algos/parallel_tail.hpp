@@ -1,0 +1,38 @@
+// The paper's §7 future work, item 1: "the recursive schedule could be
+// stopped at a certain level of the tree, after which parallel versions of
+// the gpu kernels could be executed". For mergesort this means: run the
+// deep, task-abundant levels with the generic scheduler (sequential merge
+// per work-item), and once the task count falls below the GPU's appetite,
+// switch the REMAINING top levels to the data-parallel binary-search merge
+// (one work-item per ELEMENT, Fig. 9's kernel) instead of handing them to
+// the CPU. One transfer each way, like the basic scheduler.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/executors.hpp"
+#include "sim/hpu.hpp"
+
+namespace hpu::algos {
+
+struct ParallelTailReport {
+    sim::Ticks total = 0.0;
+    sim::Ticks deep_kernels = 0.0;  ///< generic per-task kernels (levels L-1..switch)
+    sim::Ticks tail_kernels = 0.0;  ///< data-parallel merges (levels switch-1..0)
+    sim::Ticks transfer = 0.0;
+    std::uint64_t switch_level = 0;
+};
+
+/// GPU-resident mergesort with the §7 hybrid kernel schedule.
+/// `switch_level` (counted from the root, like y): the generic per-task
+/// kernels run levels L-1..switch_level, the data-parallel merge runs the
+/// remaining levels switch_level-1..0. So 0 = all-generic (run_gpu's
+/// schedule), L = all-parallel (Fig. 9's kernel). Pass SIZE_MAX to
+/// auto-pick: switch where a level's task count drops below g (the point
+/// where per-task kernels stop saturating the device).
+ParallelTailReport mergesort_gpu_parallel_tail(sim::Hpu& hpu, std::span<std::int32_t> data,
+                                               std::uint64_t switch_level,
+                                               const core::ExecOptions& opts = {});
+
+}  // namespace hpu::algos

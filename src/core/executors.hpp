@@ -1,0 +1,263 @@
+// Single-unit executors for LevelAlgorithms: the 1-core sequential baseline
+// (the paper's speedup denominator), the multi-core breadth-first executor,
+// and the GPU-only breadth-first executor (§4.2). The hybrid schedulers
+// live in core/hybrid.hpp.
+//
+// All executors process the recursion tree bottom-up by *global level*
+// index i (0 = root, L-1 = deepest internal level, L = log_b n), running
+// the a^i independent tasks of each level on the chosen unit. They require
+// a == b so that level tasks tile the array contiguously.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "core/level_algorithm.hpp"
+#include "sim/buffer.hpp"
+#include "sim/hpu.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace hpu::core {
+
+/// Execution knobs shared by all executors.
+struct ExecOptions {
+    /// Functional mode runs task bodies on real data (results verifiable);
+    /// analytic mode skips data work and prices levels from the
+    /// recurrence — instant, used by large parameter sweeps. Both modes
+    /// produce the same virtual times for uniform-cost algorithms (tests
+    /// enforce this).
+    bool functional = true;
+    /// CPU list-scheduling order (ablation knob).
+    util::ListOrder order = util::ListOrder::kArrival;
+};
+
+/// Where time went; every executor fills one of these.
+struct ExecReport {
+    sim::Ticks total = 0.0;
+    sim::Ticks cpu_busy = 0.0;       ///< CPU-unit time (parallel phase for hybrids)
+    sim::Ticks gpu_busy = 0.0;       ///< device kernel time
+    sim::Ticks transfer = 0.0;       ///< link time
+    sim::Ticks finish = 0.0;         ///< post-sync CPU wrap-up (advanced hybrid)
+    std::uint64_t levels_cpu = 0;
+    std::uint64_t levels_gpu = 0;
+    double alpha_effective = 0.0;    ///< realized CPU work ratio (advanced hybrid)
+};
+
+namespace detail {
+
+template <typename T>
+std::uint64_t level_count(const LevelAlgorithm<T>& alg, std::uint64_t n) {
+    HPU_CHECK(alg.a() == alg.b(),
+              "array executors require a == b (contiguous level tiling)");
+    HPU_CHECK(n >= alg.base_size() * alg.b(), "input must contain at least one division");
+    HPU_CHECK(alg.admissible(n), "input size not admissible for this algorithm");
+    std::uint64_t L = 0, m = n;
+    while (m > alg.base_size()) {
+        m /= alg.b();
+        ++L;
+    }
+    return L;  // internal levels 0 .. L-1; leaves below level L-1
+}
+
+/// CPU time of one level in analytic mode (uniform tasks).
+template <typename T>
+sim::Ticks analytic_cpu_level(const sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg,
+                              std::uint64_t n_total, std::uint64_t tasks, std::uint64_t level) {
+    const auto rec = alg.recurrence();
+    const double ops = rec.task_cost(static_cast<double>(n_total), static_cast<double>(level));
+    return cpu.uniform_level_time(tasks, ops, alg.level_working_set_bytes(n_total));
+}
+
+/// Functional CPU execution of one level: run every task, measure, makespan.
+template <typename T>
+sim::Ticks functional_cpu_level(sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg,
+                                std::span<T> data, std::uint64_t tasks,
+                                const ExecOptions& opts) {
+    const auto r = cpu.run_level(
+        tasks,
+        [&](std::uint64_t j, sim::OpCounter& ops) { alg.run_task(data, tasks, j, ops); },
+        alg.level_working_set_bytes(data.size()), opts.order);
+    return r.time;
+}
+
+/// Functional device execution of one level as a kernel of `tasks` items.
+template <typename T>
+sim::Ticks functional_gpu_level(sim::Device& dev, const LevelAlgorithm<T>& alg,
+                                std::span<T> device_data, std::uint64_t tasks) {
+    const auto r = dev.launch(tasks, [&](sim::WorkItem& wi) {
+        alg.run_device_task(device_data, tasks, wi.global_id(), wi.ops());
+    });
+    return r.time;
+}
+
+/// Virtual time of a device-side hook (permutation, ping-pong flip):
+/// charged as perfectly parallel device work spread over all g lanes.
+inline sim::Ticks hook_time(const sim::Device& dev, const sim::OpCounter& ops) {
+    return ops.gpu_ops(dev.params().strided_penalty) / dev.params().gamma /
+           static_cast<double>(dev.params().g);
+}
+
+/// Analytic device time of one level (uniform tasks, device pricing via the
+/// algorithm's op mix).
+template <typename T>
+sim::Ticks analytic_gpu_level(const sim::Device& dev, const LevelAlgorithm<T>& alg,
+                              std::uint64_t n_total, std::uint64_t tasks, std::uint64_t level) {
+    const auto rec = alg.recurrence();
+    const double ops = rec.task_cost(static_cast<double>(n_total), static_cast<double>(level)) *
+                       alg.device_ops_multiplier(dev.params());
+    return dev.uniform_launch_time(tasks, ops);
+}
+
+/// Host pre-pass (e.g. FFT bit-reversal), priced as p-way parallel CPU work.
+template <typename T>
+sim::Ticks host_pre_pass(const LevelAlgorithm<T>& alg, std::span<T> data, std::size_t p) {
+    sim::OpCounter pre;
+    alg.before_run(data, pre);
+    return static_cast<sim::Ticks>(pre.cpu_ops()) / static_cast<double>(p);
+}
+
+/// Leaf sweep on the CPU unit: functional when the algorithm has real leaf
+/// work, analytic otherwise.
+template <typename T>
+sim::Ticks cpu_leaves(sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg, std::span<T> region,
+                      bool functional) {
+    const std::uint64_t count = region.size() / alg.base_size();
+    if (count == 0) return 0.0;
+    if (functional && alg.has_leaf_work()) {
+        return cpu.run_level(count, [&](std::uint64_t j, sim::OpCounter& ops) {
+                      alg.run_leaf(region, count, j, ops);
+                  })
+            .time;
+    }
+    return cpu.uniform_level_time(count, alg.recurrence().leaf_cost);
+}
+
+/// Leaf sweep on the device, one work-item per base block.
+template <typename T>
+sim::Ticks gpu_leaves(sim::Device& dev, const LevelAlgorithm<T>& alg, std::span<T> region,
+                      bool functional) {
+    const std::uint64_t count = region.size() / alg.base_size();
+    if (count == 0) return 0.0;
+    if (functional && alg.has_leaf_work()) {
+        return dev
+            .launch(count,
+                    [&](sim::WorkItem& wi) { alg.run_leaf(region, count, wi.global_id(), wi.ops()); })
+            .time;
+    }
+    return dev.uniform_launch_time(count, alg.recurrence().leaf_cost);
+}
+
+}  // namespace detail
+
+/// 1-core sequential execution — the paper's baseline comparator. The
+/// recursive (Alg. 1) and breadth-first (Alg. 2) orders charge identical
+/// ops on one core, so this is the time of both.
+template <typename T>
+ExecReport run_sequential(sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg, std::span<T> data,
+                          const ExecOptions& opts = {}) {
+    const std::uint64_t L = detail::level_count(alg, data.size());
+    alg.prepare(data.size());
+    sim::CpuParams one_core = cpu.params();
+    one_core.p = 1;
+    one_core.contention = 0.0;  // a single core does not compete with itself
+    sim::CpuUnit single(one_core);
+    ExecReport rep;
+    rep.cpu_busy += detail::host_pre_pass(alg, data, 1);
+    rep.cpu_busy += detail::cpu_leaves(single, alg, data, opts.functional);
+    // Internal levels, bottom-up.
+    for (std::uint64_t i = L; i-- > 0;) {
+        const std::uint64_t tasks = util::ipow(alg.a(), static_cast<std::uint32_t>(i));
+        rep.cpu_busy += opts.functional
+                            ? detail::functional_cpu_level(single, alg, data, tasks, opts)
+                            : detail::analytic_cpu_level(single, alg, data.size(), tasks, i);
+        ++rep.levels_cpu;
+    }
+    rep.total = rep.cpu_busy;
+    return rep;
+}
+
+/// Multi-core breadth-first execution on the HPU's p CPU cores (GPU idle).
+template <typename T>
+ExecReport run_multicore(sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg, std::span<T> data,
+                         const ExecOptions& opts = {}) {
+    const std::uint64_t L = detail::level_count(alg, data.size());
+    alg.prepare(data.size());
+    ExecReport rep;
+    rep.cpu_busy += detail::host_pre_pass(alg, data, cpu.params().p);
+    rep.cpu_busy += detail::cpu_leaves(cpu, alg, data, opts.functional);
+    for (std::uint64_t i = L; i-- > 0;) {
+        const std::uint64_t tasks = util::ipow(alg.a(), static_cast<std::uint32_t>(i));
+        rep.cpu_busy += opts.functional
+                            ? detail::functional_cpu_level(cpu, alg, data, tasks, opts)
+                            : detail::analytic_cpu_level(cpu, alg, data.size(), tasks, i);
+        ++rep.levels_cpu;
+    }
+    rep.total = rep.cpu_busy;
+    return rep;
+}
+
+/// GPU-only breadth-first execution (§4.2): ship the array, run every level
+/// as a kernel, ship it back. `include_transfers` toggles the two link
+/// events (Fig. 9 reports both variants).
+template <typename T>
+ExecReport run_gpu(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std::span<T> data,
+                   const ExecOptions& opts = {}, bool include_transfers = true) {
+    const std::uint64_t L = detail::level_count(alg, data.size());
+    alg.prepare(data.size());
+    sim::Device& dev = hpu.gpu();
+    ExecReport rep;
+    rep.cpu_busy += detail::host_pre_pass(alg, data, hpu.params().cpu.p);
+
+    // Functional runs materialize a real device buffer; the analytic path
+    // lets the hooks operate on the host span (data is dummy there) and
+    // skips the physical copies entirely.
+    std::optional<sim::DeviceBuffer<T>> buf;
+    std::span<T> dspan = data;
+    if (opts.functional) {
+        buf.emplace(std::vector<T>(data.begin(), data.end()));
+        buf->copy_to_device();
+        dspan = buf->device();
+    }
+    if (include_transfers) rep.transfer += hpu.transfer_time(data.size());
+
+    if (opts.functional) {
+        sim::OpCounter hook_ops;
+        alg.before_gpu_levels(dspan, util::ipow(alg.a(), static_cast<std::uint32_t>(L - 1)),
+                              hook_ops);
+        rep.gpu_busy += detail::hook_time(dev, hook_ops);
+    } else {
+        rep.gpu_busy += detail::hook_time(dev, alg.analytic_gpu_hook_ops(data.size()));
+    }
+
+    rep.gpu_busy += detail::gpu_leaves(dev, alg, dspan, opts.functional);
+    for (std::uint64_t i = L; i-- > 0;) {
+        const std::uint64_t tasks = util::ipow(alg.a(), static_cast<std::uint32_t>(i));
+        if (opts.functional) {
+            rep.gpu_busy += detail::functional_gpu_level(dev, alg, dspan, tasks);
+            sim::OpCounter flip;
+            alg.after_gpu_level(dspan, tasks, flip);
+            rep.gpu_busy += detail::hook_time(dev, flip);
+        } else {
+            rep.gpu_busy += detail::analytic_gpu_level(dev, alg, data.size(), tasks, i);
+        }
+        ++rep.levels_gpu;
+    }
+
+    if (opts.functional) {
+        sim::OpCounter post_ops;
+        alg.after_gpu_levels(dspan, 1, post_ops);
+        rep.gpu_busy += detail::hook_time(dev, post_ops);
+    }
+
+    if (include_transfers) rep.transfer += hpu.transfer_time(data.size());
+    if (opts.functional) {
+        buf->copy_to_host();
+        std::copy(buf->host_view().begin(), buf->host_view().end(), data.begin());
+    }
+    rep.total = rep.cpu_busy + rep.gpu_busy + rep.transfer;
+    return rep;
+}
+
+}  // namespace hpu::core

@@ -1,0 +1,113 @@
+// Layer 1 of the framework: the fully generic divide-and-conquer engine of
+// §4 — Algorithm 1 (plain recursion) and Algorithm 2 (the mechanical
+// breadth-first rewrite that makes one recursive call per *level*, carrying
+// all subproblem parameters at once). The rewrite is what exposes a whole
+// level of independent tasks for SIMT execution.
+//
+// An algorithm models the DCAlgorithm concept below; the two drivers are
+// guaranteed to produce identical results (tests enforce this for every
+// algorithm in src/algos).
+#pragma once
+
+#include <concepts>
+#include <span>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace hpu::core {
+
+template <typename A>
+concept DCAlgorithm = requires(const A alg, const typename A::Param& p,
+                               std::span<const typename A::Result> results) {
+    typename A::Param;
+    typename A::Result;
+    { alg.is_base(p) } -> std::convertible_to<bool>;
+    { alg.base_case(p) } -> std::convertible_to<typename A::Result>;
+    { alg.divide(p) } -> std::convertible_to<std::vector<typename A::Param>>;
+    { alg.combine(p, results) } -> std::convertible_to<typename A::Result>;
+};
+
+/// Algorithm 1: the textbook recursive driver.
+template <DCAlgorithm A>
+typename A::Result run_recursive(const A& alg, const typename A::Param& param) {
+    if (alg.is_base(param)) return alg.base_case(param);
+    const std::vector<typename A::Param> subs = alg.divide(param);
+    HPU_CHECK(!subs.empty(), "divide produced no subproblems for a non-base case");
+    std::vector<typename A::Result> results;
+    results.reserve(subs.size());
+    for (const auto& s : subs) results.push_back(run_recursive(alg, s));
+    return alg.combine(param, results);
+}
+
+namespace detail {
+
+// One pending node of the breadth-first frontier: its parameters plus the
+// index range of its children in the next level's frontier.
+template <typename Param>
+struct Pending {
+    Param param;
+    std::size_t child_begin = 0;
+    std::size_t child_count = 0;
+    bool is_base = false;
+};
+
+}  // namespace detail
+
+/// Algorithm 2: breadth-first driver. Descends level by level collecting
+/// every subproblem's parameters, then combines back up, one level at a
+/// time. Base cases encountered early are deferred to the deepest level
+/// (paper §4.1: "their execution is delayed until no more recursive calls
+/// remain").
+template <DCAlgorithm A>
+typename A::Result run_breadth_first(const A& alg, const typename A::Param& root) {
+    using Param = typename A::Param;
+    using Result = typename A::Result;
+
+    // Phase 1: expand levels top-down.
+    std::vector<std::vector<detail::Pending<Param>>> tree;
+    tree.push_back({detail::Pending<Param>{root, 0, 0, alg.is_base(root)}});
+    while (true) {
+        auto& level = tree.back();
+        std::vector<detail::Pending<Param>> next;
+        bool any_recursion = false;
+        for (auto& node : level) {
+            if (node.is_base) continue;
+            std::vector<Param> subs = alg.divide(node.param);
+            HPU_CHECK(!subs.empty(), "divide produced no subproblems for a non-base case");
+            node.child_begin = next.size();
+            node.child_count = subs.size();
+            any_recursion = true;
+            for (auto& s : subs) {
+                const bool base = alg.is_base(s);
+                next.push_back(detail::Pending<Param>{std::move(s), 0, 0, base});
+            }
+        }
+        if (!any_recursion) break;
+        tree.push_back(std::move(next));
+    }
+
+    // Phase 2: evaluate bottom-up. Results of level d+1 feed the combines
+    // of level d; all tasks within one level are independent — this is the
+    // frontier a GPU kernel would execute (§4.2).
+    std::vector<Result> below;
+    for (std::size_t d = tree.size(); d-- > 0;) {
+        auto& level = tree[d];
+        std::vector<Result> current;
+        current.reserve(level.size());
+        for (auto& node : level) {
+            if (node.is_base) {
+                current.push_back(alg.base_case(node.param));
+            } else {
+                const std::span<const Result> kids(below.data() + node.child_begin,
+                                                   node.child_count);
+                current.push_back(alg.combine(node.param, kids));
+            }
+        }
+        below = std::move(current);
+    }
+    HPU_CHECK(below.size() == 1, "breadth-first evaluation must reduce to the root");
+    return std::move(below.front());
+}
+
+}  // namespace hpu::core

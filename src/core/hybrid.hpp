@@ -1,0 +1,282 @@
+// The two hybrid schedulers of §5.
+//
+// Basic (§5.1): each level runs entirely on the faster unit. Deep levels
+// (many small tasks) go to the GPU, top levels (few large tasks) to the
+// CPU; the single handoff sits at level i* = log_a(p/γ). One unit is always
+// idle — the cost this strategy pays for its single round trip.
+//
+// Advanced (§5.2): below a split level the array is partitioned — a
+// fraction α to the CPU, 1−α to the GPU — and both units climb their
+// subtrees concurrently. The GPU stops at transfer level y and ships its
+// runs back (the second of exactly two transfers); the CPU then finishes
+// the GPU slice's remaining levels and the shared top of the tree.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <cstdint>
+#include <span>
+
+#include "core/executors.hpp"
+#include "model/basic.hpp"
+#include "util/math.hpp"
+
+namespace hpu::core {
+
+/// Knobs of the advanced scheduler beyond (α, y).
+struct AdvancedOptions {
+    /// Task count of the split level (the paper's Alg. 8 `threshold`): the
+    /// array is divided between the units where the tree has this many
+    /// subproblems. Larger values give finer α resolution but a later
+    /// split. 0 = auto: max(4·p, 64) clamped to the tree.
+    std::uint64_t split_tasks = 0;
+    ExecOptions exec;
+};
+
+namespace detail {
+
+/// Integer levels of the whole tree plus common sizes for hybrid runs.
+template <typename T>
+struct TreeShape {
+    std::uint64_t L = 0;       ///< internal levels
+    std::uint64_t n = 0;       ///< total elements
+    std::uint64_t a = 2;
+
+    std::uint64_t tasks_at(std::uint64_t level) const {
+        return util::ipow(a, static_cast<std::uint32_t>(level));
+    }
+    std::uint64_t task_size_at(std::uint64_t level) const { return n / tasks_at(level); }
+};
+
+template <typename T>
+TreeShape<T> shape_of(const LevelAlgorithm<T>& alg, std::uint64_t n) {
+    TreeShape<T> s;
+    s.L = level_count(alg, n);
+    s.n = n;
+    s.a = alg.a();
+    return s;
+}
+
+/// Runs levels [from_deep, to_shallow] (inclusive, from_deep >= to_shallow)
+/// of a region on the CPU; returns the summed level times.
+template <typename T>
+sim::Ticks cpu_levels(sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg, std::span<T> region,
+                      std::uint64_t n_total, std::uint64_t from_deep, std::uint64_t to_shallow,
+                      const ExecOptions& opts, std::uint64_t* levels_done = nullptr) {
+    sim::Ticks t = 0.0;
+    for (std::uint64_t i = from_deep + 1; i-- > to_shallow;) {
+        const std::uint64_t task_size =
+            n_total / util::ipow(alg.a(), static_cast<std::uint32_t>(i));
+        const std::uint64_t tasks = static_cast<std::uint64_t>(region.size()) / task_size;
+        if (tasks == 0) continue;
+        if (opts.functional) {
+            t += functional_cpu_level(cpu, alg, region, tasks, opts);
+        } else {
+            const auto rec = alg.recurrence();
+            const double ops =
+                rec.task_cost(static_cast<double>(n_total), static_cast<double>(i));
+            t += cpu.uniform_level_time(tasks, ops, alg.level_working_set_bytes(n_total));
+        }
+        if (levels_done != nullptr) ++*levels_done;
+    }
+    return t;
+}
+
+}  // namespace detail
+
+/// Basic hybrid scheduler (§5.1). Levels at or below the crossover run on
+/// the device; one transfer each way.
+template <typename T>
+ExecReport run_basic_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std::span<T> data,
+                            const ExecOptions& opts = {}) {
+    const auto shape = detail::shape_of(alg, data.size());
+    alg.prepare(data.size());
+    const auto& hw = hpu.params();
+    ExecReport rep;
+    rep.cpu_busy += detail::host_pre_pass(alg, data, hw.cpu.p);
+
+    const auto pred = model::predict_basic(hw, alg.recurrence(), static_cast<double>(data.size()));
+    if (pred.cpu_only) return run_multicore(hpu.cpu(), alg, data, opts);
+
+    // First GPU level: the shallowest level the device wins.
+    const std::uint64_t gpu_top = std::min<std::uint64_t>(
+        shape.L, static_cast<std::uint64_t>(std::ceil(std::max(0.0, pred.crossover_level))));
+
+    sim::Device& dev = hpu.gpu();
+    sim::Ticks clock = 0.0;
+
+    // --- Device phase: leaves + levels L-1 .. gpu_top over the whole array.
+    std::optional<sim::DeviceBuffer<T>> buf;
+    std::span<T> dspan = data;
+    if (opts.functional) {
+        buf.emplace(std::vector<T>(data.begin(), data.end()));
+        buf->copy_to_device();
+        dspan = buf->device();
+    }
+    rep.transfer += hpu.transfer_time(data.size());
+    clock = hpu.timeline().record(sim::EventKind::kTransferToGpu, alg.name(), clock,
+                                  hpu.transfer_time(data.size()));
+
+    if (opts.functional) {
+        sim::OpCounter hook;
+        alg.before_gpu_levels(dspan, shape.tasks_at(shape.L - 1), hook);
+        rep.gpu_busy += detail::hook_time(dev, hook);
+    } else if (gpu_top < shape.L) {
+        // Hook costs apply only when device levels actually execute.
+        rep.gpu_busy += detail::hook_time(dev, alg.analytic_gpu_hook_ops(data.size()));
+    }
+
+    rep.gpu_busy += detail::gpu_leaves(dev, alg, dspan, opts.functional);
+    for (std::uint64_t i = shape.L; i-- > gpu_top;) {
+        const std::uint64_t tasks = shape.tasks_at(i);
+        if (opts.functional) {
+            rep.gpu_busy += detail::functional_gpu_level(dev, alg, dspan, tasks);
+            sim::OpCounter flip;
+            alg.after_gpu_level(dspan, tasks, flip);
+            rep.gpu_busy += detail::hook_time(dev, flip);
+        } else {
+            rep.gpu_busy += detail::analytic_gpu_level(dev, alg, data.size(), tasks, i);
+        }
+        ++rep.levels_gpu;
+    }
+    if (opts.functional) {
+        sim::OpCounter post;
+        alg.after_gpu_levels(dspan, shape.tasks_at(gpu_top), post);
+        rep.gpu_busy += detail::hook_time(dev, post);
+    }
+    clock = hpu.timeline().record(sim::EventKind::kGpuKernel, alg.name(), clock, rep.gpu_busy);
+
+    rep.transfer += hpu.transfer_time(data.size());
+    clock = hpu.timeline().record(sim::EventKind::kTransferToCpu, alg.name(), clock,
+                                  hpu.transfer_time(data.size()));
+    if (opts.functional) {
+        buf->copy_to_host();
+        std::copy(buf->host_view().begin(), buf->host_view().end(), data.begin());
+    }
+
+    // --- CPU phase: remaining top levels.
+    if (gpu_top > 0) {
+        rep.cpu_busy += detail::cpu_levels(hpu.cpu(), alg, data, data.size(), gpu_top - 1,
+                                           std::uint64_t{0}, opts, &rep.levels_cpu);
+        clock = hpu.timeline().record(sim::EventKind::kCpuLevel, alg.name(), clock, rep.cpu_busy);
+    }
+    rep.total = rep.gpu_busy + rep.cpu_busy + rep.transfer;
+    return rep;
+}
+
+/// Advanced hybrid scheduler (§5.2) at explicit (α, transfer level y).
+/// y counts global levels from the root, as in the paper's figures; the
+/// device executes levels L-1 .. y of its slice.
+template <typename T>
+ExecReport run_advanced_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std::span<T> data,
+                               double alpha, std::uint64_t y,
+                               const AdvancedOptions& adv = {}) {
+    HPU_CHECK(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+    const auto shape = detail::shape_of(alg, data.size());
+    alg.prepare(data.size());
+    HPU_CHECK(y >= 1 && y <= shape.L, "transfer level y must be in [1, L]");
+    const ExecOptions& opts = adv.exec;
+    sim::Device& dev = hpu.gpu();
+    ExecReport rep;
+    const sim::Ticks pre = detail::host_pre_pass(alg, data, hpu.params().cpu.p);
+
+    // --- Split level: tasks tile the array; the CPU takes the first
+    // cpu_tasks slices, the device the rest.
+    std::uint64_t split_tasks = adv.split_tasks;
+    if (split_tasks == 0) {
+        split_tasks = std::max<std::uint64_t>(4 * hpu.params().cpu.p, 64);
+    }
+    std::uint64_t s = 0;
+    while (s < shape.L && shape.tasks_at(s) < split_tasks) ++s;
+    s = std::min<std::uint64_t>(s, y);  // split cannot sit below the transfer level
+    const std::uint64_t S = shape.tasks_at(s);
+    const std::uint64_t cpu_tasks = std::clamp<std::uint64_t>(
+        static_cast<std::uint64_t>(std::llround(alpha * static_cast<double>(S))), 1, S - 1);
+    const std::uint64_t split_elem = cpu_tasks * shape.task_size_at(s);
+    rep.alpha_effective = static_cast<double>(cpu_tasks) / static_cast<double>(S);
+
+    std::span<T> cpu_region = data.subspan(0, split_elem);
+    std::span<T> gpu_region = data.subspan(split_elem);
+
+    // --- GPU thread: ship slice, leaves + levels L-1..y, ship back.
+    sim::Ticks gpu_clock = 0.0;
+    std::optional<sim::DeviceBuffer<T>> buf;
+    std::span<T> dspan = gpu_region;
+    if (opts.functional) {
+        buf.emplace(std::vector<T>(gpu_region.begin(), gpu_region.end()));
+        buf->copy_to_device();
+        dspan = buf->device();
+    }
+    const sim::Ticks x1 = hpu.transfer_time(gpu_region.size());
+    rep.transfer += x1;
+    gpu_clock = hpu.timeline().record(sim::EventKind::kTransferToGpu, alg.name(), gpu_clock, x1);
+
+    sim::Ticks gpu_kernels = 0.0;
+    if (opts.functional) {
+        sim::OpCounter hook;
+        alg.before_gpu_levels(dspan, gpu_region.size() / shape.task_size_at(shape.L - 1),
+                              hook);
+        gpu_kernels += detail::hook_time(dev, hook);
+    } else if (y < shape.L) {
+        // Hook costs apply only when device levels actually execute.
+        gpu_kernels += detail::hook_time(dev, alg.analytic_gpu_hook_ops(gpu_region.size()));
+    }
+    gpu_kernels += detail::gpu_leaves(dev, alg, dspan, opts.functional);
+    for (std::uint64_t i = shape.L; i-- > y;) {
+        const std::uint64_t tasks = gpu_region.size() / shape.task_size_at(i);
+        if (tasks == 0) continue;
+        if (opts.functional) {
+            gpu_kernels += detail::functional_gpu_level(dev, alg, dspan, tasks);
+            sim::OpCounter flip;
+            alg.after_gpu_level(dspan, tasks, flip);
+            gpu_kernels += detail::hook_time(dev, flip);
+        } else {
+            gpu_kernels += detail::analytic_gpu_level(dev, alg, data.size(), tasks, i);
+        }
+        ++rep.levels_gpu;
+    }
+    if (opts.functional) {
+        sim::OpCounter post;
+        alg.after_gpu_levels(dspan, gpu_region.size() / shape.task_size_at(y), post);
+        gpu_kernels += detail::hook_time(dev, post);
+    }
+    rep.gpu_busy = gpu_kernels;
+    gpu_clock = hpu.timeline().record(sim::EventKind::kGpuKernel, alg.name(), gpu_clock,
+                                      gpu_kernels);
+    const sim::Ticks x2 = hpu.transfer_time(gpu_region.size());
+    rep.transfer += x2;
+    gpu_clock = hpu.timeline().record(sim::EventKind::kTransferToCpu, alg.name(), gpu_clock, x2);
+    if (opts.functional) {
+        buf->copy_to_host();
+        std::copy(buf->host_view().begin(), buf->host_view().end(), gpu_region.begin());
+    }
+
+    // --- CPU thread (concurrent): leaves + levels L-1..s of its slice.
+    sim::Ticks cpu_clock = detail::cpu_leaves(hpu.cpu(), alg, cpu_region, opts.functional);
+    cpu_clock += detail::cpu_levels(hpu.cpu(), alg, cpu_region, data.size(), shape.L - 1, s,
+                                    opts, &rep.levels_cpu);
+    rep.cpu_busy = cpu_clock;
+    hpu.timeline().record(sim::EventKind::kCpuLevel, alg.name() + "/parallel", 0.0, cpu_clock);
+
+    // --- Sync point: both threads joined, GPU slice back on the host.
+    const sim::Ticks sync = std::max(gpu_clock, cpu_clock);
+
+    // --- Finish phase on the CPU: GPU slice levels y-1..s, then the shared
+    // top levels s-1..0 across the whole array.
+    sim::Ticks fin = 0.0;
+    if (y > s) {
+        fin += detail::cpu_levels(hpu.cpu(), alg, gpu_region, data.size(), y - 1, s, opts,
+                                  &rep.levels_cpu);
+    }
+    if (s > 0) {
+        fin += detail::cpu_levels(hpu.cpu(), alg, data, data.size(), s - 1, std::uint64_t{0},
+                                  opts, &rep.levels_cpu);
+    }
+    rep.finish = fin;
+    hpu.timeline().record(sim::EventKind::kCpuLevel, alg.name() + "/finish", sync, fin);
+    rep.total = pre + sync + fin;
+    return rep;
+}
+
+}  // namespace hpu::core

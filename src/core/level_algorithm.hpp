@@ -1,0 +1,137 @@
+// Layer 2 of the framework: *regular* in-place divide-and-conquer over a
+// contiguous array — the class the paper's hybrid schedulers target (§5:
+// "regular DC algorithms", all root-to-leaf paths of equal length, division
+// implicit in offsets). The case study (mergesort, §6) and the running
+// examples (sum, §4.3) fit this shape.
+//
+// A LevelAlgorithm describes one recursion-tree level at a time. Level i
+// (0 = root) has a^i tasks over subproblems of size n/b^i; task j of a
+// level touches a statically known slice of the array (for a = b:
+// [j·(n/count), (j+1)·(n/count))). The SAME task body runs on a CPU core or
+// as a GPU work-item (§4.2's translation); the unit only changes who
+// executes it and how its op charges are priced.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "model/recurrence.hpp"
+#include "sim/op_counter.hpp"
+#include "sim/params.hpp"
+
+namespace hpu::core {
+
+template <typename T>
+class LevelAlgorithm {
+public:
+    virtual ~LevelAlgorithm() = default;
+
+    virtual std::string name() const = 0;
+
+    /// Branching factor a and size divisor b of T(n) = a·T(n/b) + f(n).
+    virtual std::uint64_t a() const = 0;
+    virtual std::uint64_t b() const = 0;
+
+    /// Cost descriptor used by the model-side predictions. Must agree with
+    /// the op charges of run_task (tests cross-validate this).
+    virtual model::Recurrence recurrence() const = 0;
+
+    /// Subproblem size at which recursion bottoms out. 1 for the classic
+    /// algorithms; the §7 blocked variants stop at larger blocks that
+    /// run_leaf solves sequentially.
+    virtual std::uint64_t base_size() const { return 1; }
+
+    /// True if `n` is an admissible input size (typically: base_size times
+    /// a power of b).
+    virtual bool admissible(std::uint64_t n) const {
+        std::uint64_t m = n;
+        while (m > base_size() && m % b() == 0) m /= b();
+        return m == base_size();
+    }
+
+    /// Host-side pre-pass over the input before any level runs (e.g., the
+    /// FFT's bit-reversal permutation). Runs once, on the host, before the
+    /// hybrid split; charge its work to `ops` (executors price it as
+    /// p-way parallel CPU work).
+    virtual void before_run(std::span<T> /*data*/, sim::OpCounter& /*ops*/) const {}
+
+    /// Run combine/divide task `j` (0-based) of the level that has `count`
+    /// tasks over `data`. Charges its work to `ops`. `pattern` tells the
+    /// task how its memory accesses will be priced (the §6.3 permuted
+    /// variant switches this to kCoalesced on the device).
+    virtual void run_task(std::span<T> data, std::uint64_t count, std::uint64_t j,
+                          sim::OpCounter& ops) const = 0;
+
+    /// Leaf work for base case `j` of `leaf_count` base cases. Default:
+    /// none beyond a unit charge (size-1 subproblems are trivially solved).
+    virtual void run_leaf(std::span<T> /*data*/, std::uint64_t /*leaf_count*/,
+                          std::uint64_t /*j*/, sim::OpCounter& ops) const {
+        ops.charge_compute(1);
+    }
+
+    /// Whether leaves carry real work (drives whether executors run a leaf
+    /// sweep at the bottom). Default false: leaf charges are modelled but
+    /// functionally a no-op.
+    virtual bool has_leaf_work() const { return false; }
+
+    /// Device-side task body. Defaults to the CPU body — the §4.2 generic
+    /// translation. The §6.3 coalesced mergesort overrides this with the
+    /// permuted-layout walk (and the hooks below with the permutations)
+    /// while the CPU body stays untouched, exactly as the paper keeps the
+    /// optimization "transparent to the CPU implementation".
+    virtual void run_device_task(std::span<T> data, std::uint64_t count, std::uint64_t j,
+                                 sim::OpCounter& ops) const {
+        run_task(data, count, j, ops);
+    }
+
+    /// Device-side hook before a run of consecutive GPU levels (e.g., the
+    /// §6.3 coalescing permutation). `count` is the task count of the
+    /// deepest level about to execute. Charged to `ops` as device work.
+    virtual void before_gpu_levels(std::span<T> /*device_data*/, std::uint64_t /*count*/,
+                                   sim::OpCounter& /*ops*/) const {}
+
+    /// Device-side hook after EACH GPU level's kernel (e.g., flipping a
+    /// ping-pong buffer). `count` is the task count of the level just run.
+    virtual void after_gpu_level(std::span<T> /*device_data*/, std::uint64_t /*count*/,
+                                 sim::OpCounter& /*ops*/) const {}
+
+    /// Host-side preparation before any executor run (e.g., sizing scratch
+    /// space). Executors call this once with the full input size.
+    virtual void prepare(std::uint64_t /*n*/) const {}
+
+    /// Device-side hook after the last GPU level, before readback.
+    virtual void after_gpu_levels(std::span<T> /*device_data*/, std::uint64_t /*count*/,
+                                  sim::OpCounter& /*ops*/) const {}
+
+    /// Total charge of ALL device hooks for a GPU phase over a region of
+    /// `region_elems` elements — used by the analytic fast path, which
+    /// skips the functional hooks. Must equal the sum of the functional
+    /// hook charges (tests cross-validate on mergesort).
+    virtual sim::OpCounter analytic_gpu_hook_ops(std::uint64_t /*region_elems*/) const {
+        return {};
+    }
+
+    /// Memory pattern of run_task's charges when executed as one work-item
+    /// among many on the device. Plain algorithms walk their slice
+    /// sequentially — strided across the wave; §6.3-optimized variants
+    /// return kCoalesced.
+    virtual sim::Pattern device_pattern() const { return sim::Pattern::kStrided; }
+
+    /// Ratio of device-priced ops to CPU-priced ops for one task — how much
+    /// the recurrence's f(n) inflates on the device given this algorithm's
+    /// charge mix (strided words pay dev.strided_penalty). Used only by the
+    /// analytic fast path; functional runs price actual charges.
+    virtual double device_ops_multiplier(const sim::DeviceParams& dev) const {
+        return device_pattern() == sim::Pattern::kCoalesced ? 1.0 : dev.strided_penalty;
+    }
+
+    /// Bytes touched by one whole level over an input of n elements — feeds
+    /// the CPU LLC contention model. Default: the full array, twice (read +
+    /// write), which is right for mergesort-like algorithms.
+    virtual std::uint64_t level_working_set_bytes(std::uint64_t n) const {
+        return 2 * n * sizeof(T);
+    }
+};
+
+}  // namespace hpu::core

@@ -1,0 +1,59 @@
+// Empirical estimation of the HPU parameters g and γ (§6.4, Figs. 5–6).
+//
+// g: run an elementwise sum of two arrays with an increasing number of
+//    work-items (each item handles a consecutive chunk) and find the thread
+//    count beyond which the device time stops improving — the empirical
+//    saturation point, not the physical PE count.
+// γ: run a 1-thread merge of two sorted lists on the device and the same
+//    merge on one CPU core; the time ratio is γ⁻¹ and should be roughly
+//    constant across input sizes (Fig. 6).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cpu_unit.hpp"
+#include "sim/device.hpp"
+
+namespace hpu::model {
+
+struct SaturationPoint {
+    std::uint64_t threads = 0;
+    sim::Ticks time = 0.0;
+};
+
+/// One probe: elementwise sum of two arrays of `n` words using `threads`
+/// work-items. Returns the device time.
+sim::Ticks probe_elementwise_sum(sim::Device& device, std::uint64_t n, std::uint64_t threads);
+
+/// Sweeps `thread_counts` and returns the per-count times (Fig. 5's curve).
+std::vector<SaturationPoint> saturation_sweep(sim::Device& device, std::uint64_t n,
+                                              const std::vector<std::uint64_t>& thread_counts);
+
+/// Estimated g: the smallest probed thread count whose time is within
+/// `tolerance` of the best time over the whole sweep.
+std::uint64_t estimate_g(const std::vector<SaturationPoint>& sweep, double tolerance = 0.02);
+
+/// Convenience: geometric sweep 1, 2, 4, ... up to `max_threads`, plus a
+/// linear refinement around the knee.
+std::uint64_t estimate_g(sim::Device& device, std::uint64_t n, std::uint64_t max_threads,
+                         double tolerance = 0.02);
+
+struct GammaSample {
+    std::uint64_t n = 0;       ///< elements per input list
+    sim::Ticks gpu_time = 0.0;
+    sim::Ticks cpu_time = 0.0;
+    double ratio = 0.0;        ///< gpu/cpu — an estimate of γ⁻¹
+};
+
+/// One probe: merge two sorted lists of n elements each, once as a 1-item
+/// kernel on the device and once as a single CPU task.
+GammaSample probe_merge_ratio(sim::Device& device, sim::CpuUnit& cpu, std::uint64_t n);
+
+/// Fig. 6's series: ratio per input size. γ⁻¹ estimate = median ratio.
+std::vector<GammaSample> gamma_sweep(sim::Device& device, sim::CpuUnit& cpu,
+                                     const std::vector<std::uint64_t>& sizes);
+
+double estimate_gamma_inv(const std::vector<GammaSample>& sweep);
+
+}  // namespace hpu::model

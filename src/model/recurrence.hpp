@@ -1,0 +1,92 @@
+// Divide-and-conquer recurrence descriptor: T(n) = a·T(n/b) + f(n), the
+// class of algorithms the paper's framework and schedulers target (§4).
+// The model works with real-valued level indices, following the paper's
+// analysis (§5.2.1), so all quantities here are doubles.
+#pragma once
+
+#include <functional>
+
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace hpu::model {
+
+struct Recurrence {
+    double a = 2.0;  ///< subproblems per division
+    double b = 2.0;  ///< size shrink factor
+    /// Division + combination cost for one subproblem of size m (paper's
+    /// f(n)). Must be positive for m >= 1.
+    std::function<double(double)> f = [](double m) { return m; };
+    double leaf_cost = 1.0;  ///< cost of one base case
+    /// Subproblem size at which recursion stops (the paper's base cases are
+    /// size 1; the §7 future-work blocked variants stop earlier and solve
+    /// base blocks with a sequential algorithm).
+    double base_size = 1.0;
+
+    void validate() const {
+        HPU_CHECK(a > 1.0 && b > 1.0, "recurrence needs a > 1 and b > 1");
+        HPU_CHECK(static_cast<bool>(f), "recurrence needs a cost function");
+        HPU_CHECK(leaf_cost > 0.0, "leaf cost must be positive");
+        HPU_CHECK(base_size >= 1.0, "base size must be >= 1");
+    }
+
+    /// Number of internal levels for input size n: log_b(n / base_size).
+    /// Level 0 is the root; leaves sit below level levels(n) - 1.
+    double levels(double n) const { return util::logb(n / base_size, b); }
+
+    /// Number of leaves: a^levels = (n/base)^(log_b a).
+    double leaves(double n) const { return std::pow(n / base_size, util::logb(a, b)); }
+
+    /// Per-subproblem cost at level i: f(n / b^i).
+    double task_cost(double n, double i) const { return f(n / std::pow(b, i)); }
+
+    /// Aggregate division+combination work of level i: a^i · f(n / b^i).
+    double level_work(double n, double i) const {
+        return std::pow(a, i) * task_cost(n, i);
+    }
+
+    /// Total sequential work: all levels plus leaves — the 1-core baseline
+    /// the paper's speedups are measured against.
+    double seq_work(double n) const {
+        const double L = levels(n);
+        double w = leaves(n) * leaf_cost;
+        for (double i = 0; i < L; i += 1.0) w += level_work(n, i);
+        return w;
+    }
+};
+
+/// Mergesort / any linear-combine halving D&C: a = b = 2, f(m) = c·m.
+/// `words_per_element` scales f to match a concrete kernel's op charges
+/// (the default merge charges ~3 ops per output element: 2 reads + 1 write).
+inline Recurrence mergesort_recurrence(double ops_per_element = 3.0) {
+    Recurrence r;
+    r.a = 2.0;
+    r.b = 2.0;
+    r.f = [ops_per_element](double m) { return ops_per_element * m; };
+    r.leaf_cost = 1.0;
+    return r;
+}
+
+/// D&C array sum: a = b = 2, constant combine.
+inline Recurrence sum_recurrence(double combine_ops = 3.0) {
+    Recurrence r;
+    r.a = 2.0;
+    r.b = 2.0;
+    r.f = [combine_ops](double) { return combine_ops; };
+    r.leaf_cost = 1.0;
+    return r;
+}
+
+/// Classic 8-way recursive matrix multiplication on m×m blocks (n = m²
+/// elements per matrix): a = 8, b = 4 (quartering the element count),
+/// combine is the O(n) block addition.
+inline Recurrence matmul_recurrence(double ops_per_element = 2.0) {
+    Recurrence r;
+    r.a = 8.0;
+    r.b = 4.0;
+    r.f = [ops_per_element](double m) { return ops_per_element * m; };
+    r.leaf_cost = 2.0;
+    return r;
+}
+
+}  // namespace hpu::model

@@ -1,0 +1,38 @@
+// The two experimental platforms of the paper (Tables 1 and 2), expressed
+// as HpuParams for the simulator, plus generic lookup.
+//
+//   HPU1: Intel Core 2 Extreme Q6850 (4 cores @ 3.00 GHz, 8 MB LLC)
+//         + ATI Radeon HD 5970        → p = 4, g = 4096, γ⁻¹ = 160
+//   HPU2: AMD A6-3650 APU (4 cores @ 2.6 GHz, 4 MB LLC)
+//         + integrated ATI Radeon HD 6530D → p = 4, g = 1200, γ⁻¹ = 65
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/params.hpp"
+
+namespace hpu::platforms {
+
+/// Descriptive record for Table 1.
+struct PlatformSpec {
+    std::string name;
+    std::string cpu_desc;
+    std::string gpu_desc;
+    sim::HpuParams params;
+};
+
+/// HPU1 parameters (Table 2 row 1).
+sim::HpuParams hpu1();
+
+/// HPU2 parameters (Table 2 row 2).
+sim::HpuParams hpu2();
+
+/// Both platforms with their Table 1 descriptions.
+const std::vector<PlatformSpec>& all();
+
+/// Lookup by name ("HPU1" / "HPU2", case-sensitive); throws HpuError if
+/// unknown.
+const PlatformSpec& by_name(const std::string& name);
+
+}  // namespace hpu::platforms

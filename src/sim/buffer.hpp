@@ -1,0 +1,82 @@
+// Host/device buffer with explicit transfers, mirroring the OpenCL memory
+// model of §3.1: the host cannot see device writes (and vice versa) until an
+// explicit transfer. We physically keep two copies so stale-copy bugs in
+// schedulers surface as wrong results in tests rather than silently working.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace hpu::sim {
+
+template <typename T>
+class DeviceBuffer {
+public:
+    explicit DeviceBuffer(std::size_t n) : host_(n), device_(n) {}
+
+    /// Construct with initial host contents.
+    explicit DeviceBuffer(std::vector<T> initial)
+        : host_(std::move(initial)), device_(host_.size()) {}
+
+    std::size_t size() const noexcept { return host_.size(); }
+    std::size_t bytes() const noexcept { return host_.size() * sizeof(T); }
+
+    /// Host-side view. Writing invalidates the device copy.
+    std::span<T> host() noexcept {
+        device_valid_ = false;
+        return host_;
+    }
+    std::span<const T> host_view() const noexcept { return host_; }
+
+    /// Device-side view, for kernel bodies. Requires a prior copy_to_device.
+    std::span<T> device() {
+        HPU_CHECK(device_valid_, "kernel touched a buffer not resident on the device");
+        host_valid_ = false;
+        return device_;
+    }
+    std::span<const T> device_view() const {
+        HPU_CHECK(device_valid_, "kernel read a buffer not resident on the device");
+        return device_;
+    }
+
+    bool device_valid() const noexcept { return device_valid_; }
+    bool host_valid() const noexcept { return host_valid_; }
+
+    /// Physical host→device copy. Time accounting happens in CommandQueue.
+    void copy_to_device() {
+        device_.assign(host_.begin(), host_.end());
+        device_valid_ = true;
+    }
+    /// Physical device→host copy.
+    void copy_to_host() {
+        HPU_CHECK(device_valid_, "reading back a buffer that was never written on the device");
+        host_.assign(device_.begin(), device_.end());
+        host_valid_ = true;
+    }
+
+    /// Partial host→device copy of [offset, offset+count).
+    void copy_to_device(std::size_t offset, std::size_t count) {
+        HPU_CHECK(offset + count <= size(), "partial copy out of range");
+        std::copy_n(host_.begin() + static_cast<std::ptrdiff_t>(offset), count,
+                    device_.begin() + static_cast<std::ptrdiff_t>(offset));
+        device_valid_ = true;
+    }
+    /// Partial device→host copy of [offset, offset+count).
+    void copy_to_host(std::size_t offset, std::size_t count) {
+        HPU_CHECK(offset + count <= size(), "partial copy out of range");
+        std::copy_n(device_.begin() + static_cast<std::ptrdiff_t>(offset), count,
+                    host_.begin() + static_cast<std::ptrdiff_t>(offset));
+        host_valid_ = true;
+    }
+
+private:
+    std::vector<T> host_;
+    std::vector<T> device_;
+    bool host_valid_ = true;
+    bool device_valid_ = false;
+};
+
+}  // namespace hpu::sim

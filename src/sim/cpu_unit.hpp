@@ -1,0 +1,101 @@
+// The multi-core CPU side of the HPU: runs a level of independent tasks on
+// p virtual cores. Tasks execute functionally (optionally on a real thread
+// pool); virtual time is the list-scheduling makespan of the measured
+// per-task op counts, matching the §5 cost (a^i / p) · f(n / b^i) for
+// uniform levels.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/op_counter.hpp"
+#include "sim/params.hpp"
+#include "util/makespan.hpp"
+#include "util/math.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hpu::sim {
+
+/// Result of running one level of tasks.
+struct LevelResult {
+    Ticks time = 0.0;             ///< virtual makespan (incl. contention penalty)
+    std::uint64_t tasks = 0;
+    OpCounter total_ops;
+    std::uint64_t max_task_ops = 0;
+};
+
+class CpuUnit {
+public:
+    /// `pool` may be null: tasks then run inline on the caller (the virtual
+    /// clock is unaffected — the pool only accelerates functional
+    /// execution on multi-core hosts).
+    explicit CpuUnit(CpuParams params, util::ThreadPool* pool = nullptr)
+        : params_(params), pool_(pool) {
+        params_.validate();
+    }
+
+    const CpuParams& params() const noexcept { return params_; }
+
+    /// Runs `n_tasks` invocations of `task` (callable taking (index,
+    /// OpCounter&)) on p virtual cores. `working_set_bytes` feeds the
+    /// optional LLC contention penalty (0 = unknown/none).
+    template <typename Task>
+    LevelResult run_level(std::uint64_t n_tasks, Task&& task, std::uint64_t working_set_bytes = 0,
+                          util::ListOrder order = util::ListOrder::kArrival) {
+        LevelResult r;
+        r.tasks = n_tasks;
+        if (n_tasks == 0) return r;
+        std::vector<std::uint64_t> costs(n_tasks);
+        if (pool_ != nullptr && pool_->worker_count() > 0) {
+            pool_->parallel_for(n_tasks, [&](std::size_t i) {
+                OpCounter ops;
+                task(static_cast<std::uint64_t>(i), ops);
+                costs[i] = ops.cpu_ops();
+            });
+            // Totals are folded after the parallel section to keep the task
+            // loop free of shared mutable state; the per-category split is
+            // collapsed into `compute` in pooled mode (only the scalar cost
+            // matters on the CPU side).
+            for (std::uint64_t c : costs) {
+                r.total_ops.compute += c;
+                r.max_task_ops = std::max(r.max_task_ops, c);
+            }
+        } else {
+            for (std::uint64_t i = 0; i < n_tasks; ++i) {
+                OpCounter ops;
+                task(i, ops);
+                costs[i] = ops.cpu_ops();
+                r.total_ops += ops;
+                r.max_task_ops = std::max(r.max_task_ops, costs[i]);
+            }
+        }
+        r.time = static_cast<Ticks>(util::makespan(costs, params_.p, order));
+        r.time *= contention_factor(n_tasks, working_set_bytes);
+        return r;
+    }
+
+    /// Pure cost query: makespan of n uniform tasks of `ops_each` ops:
+    /// ceil(n / p) · ops_each, times the contention factor.
+    Ticks uniform_level_time(std::uint64_t n_tasks, double ops_each,
+                             std::uint64_t working_set_bytes = 0) const noexcept {
+        const auto rounds = static_cast<double>(util::ceil_div(n_tasks, params_.p));
+        return rounds * ops_each * contention_factor(n_tasks, working_set_bytes);
+    }
+
+    /// Multiplier modeling LLC competition between cores (Fig. 8 gap):
+    /// 1 + contention · log2(ws / llc) when more than one core is active
+    /// and the working set exceeds the cache. 1 otherwise.
+    double contention_factor(std::uint64_t n_tasks, std::uint64_t working_set_bytes) const noexcept {
+        if (params_.contention <= 0.0 || n_tasks <= 1 || params_.p <= 1) return 1.0;
+        if (working_set_bytes <= params_.llc_bytes) return 1.0;
+        const double ratio = static_cast<double>(working_set_bytes) /
+                             static_cast<double>(params_.llc_bytes);
+        return 1.0 + params_.contention * std::log2(ratio);
+    }
+
+private:
+    CpuParams params_;
+    util::ThreadPool* pool_;
+};
+
+}  // namespace hpu::sim

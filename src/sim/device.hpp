@@ -1,0 +1,115 @@
+// The simulated GPU device: executes kernels functionally on the host while
+// charging virtual time according to the HPU cost model (see params.hpp).
+//
+// Execution model (mirrors §3.1/§4.2 of the paper): a kernel launch of N
+// work-items runs in ceil(N / g) waves of up to g lanes. All items execute
+// the same kernel body; each identifies its subproblem from its global id
+// (Alg. 3). A wave lasts as long as its slowest item; waves execute back to
+// back. Items charge their work through WorkItem::ops().
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "sim/op_counter.hpp"
+#include "sim/params.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace hpu::sim {
+
+/// Handle given to each kernel invocation: identity + charge interface.
+class WorkItem {
+public:
+    WorkItem(std::uint64_t global_id, std::uint64_t global_size, OpCounter& ops) noexcept
+        : global_id_(global_id), global_size_(global_size), ops_(&ops) {}
+
+    /// OpenCL get_global_id(0).
+    std::uint64_t global_id() const noexcept { return global_id_; }
+    /// OpenCL get_global_size(0): total items in the launch.
+    std::uint64_t global_size() const noexcept { return global_size_; }
+
+    OpCounter& ops() noexcept { return *ops_; }
+
+    void charge_compute(std::uint64_t n) noexcept { ops_->charge_compute(n); }
+    void charge_mem(std::uint64_t words, Pattern p) noexcept { ops_->charge_mem(words, p); }
+
+private:
+    std::uint64_t global_id_;
+    std::uint64_t global_size_;
+    OpCounter* ops_;
+};
+
+/// Result of one kernel launch.
+struct LaunchResult {
+    Ticks time = 0.0;          ///< virtual duration of the launch
+    std::uint64_t items = 0;   ///< work-items executed
+    std::uint64_t waves = 0;   ///< ceil(items / g)
+    OpCounter total_ops;       ///< sum of all item charges
+    double max_item_ops = 0;   ///< largest per-item GPU op count observed
+};
+
+/// Cumulative device statistics.
+struct DeviceStats {
+    std::uint64_t launches = 0;
+    std::uint64_t items = 0;
+    Ticks busy_time = 0.0;
+    OpCounter total_ops;
+};
+
+class Device {
+public:
+    explicit Device(DeviceParams params) : params_(params) { params_.validate(); }
+
+    const DeviceParams& params() const noexcept { return params_; }
+    const DeviceStats& stats() const noexcept { return stats_; }
+    void reset_stats() noexcept { stats_ = DeviceStats{}; }
+
+    /// Launches `n_items` invocations of `kernel` (callable taking
+    /// WorkItem&). Items run functionally on the host; virtual time follows
+    /// the wave model. Exceptions from kernel bodies propagate to the
+    /// caller after no further items are run.
+    template <typename Kernel>
+    LaunchResult launch(std::uint64_t n_items, Kernel&& kernel) {
+        HPU_CHECK(n_items >= 1, "kernel launch needs at least one work-item");
+        LaunchResult r;
+        r.items = n_items;
+        r.waves = util::ceil_div(n_items, params_.g);
+        Ticks total = params_.launch_overhead;
+        std::uint64_t id = 0;
+        for (std::uint64_t w = 0; w < r.waves; ++w) {
+            const std::uint64_t wave_end = std::min(n_items, (w + 1) * params_.g);
+            double wave_max_ops = 0.0;
+            for (; id < wave_end; ++id) {
+                OpCounter ops;
+                WorkItem wi(id, n_items, ops);
+                kernel(wi);
+                const double item_ops = ops.gpu_ops(params_.strided_penalty);
+                wave_max_ops = std::max(wave_max_ops, item_ops);
+                r.max_item_ops = std::max(r.max_item_ops, item_ops);
+                r.total_ops += ops;
+            }
+            total += wave_max_ops / params_.gamma;
+        }
+        r.time = total;
+        stats_.launches += 1;
+        stats_.items += n_items;
+        stats_.busy_time += r.time;
+        stats_.total_ops += r.total_ops;
+        return r;
+    }
+
+    /// Pure cost query (no execution): time for `n_items` uniform items of
+    /// `ops_each` GPU ops. Used by the analytical fast path and the model
+    /// tests: ceil(n/g) · ops_each / γ (+ launch overhead).
+    Ticks uniform_launch_time(std::uint64_t n_items, double ops_each) const noexcept {
+        const auto waves = static_cast<double>(util::ceil_div(n_items, params_.g));
+        return params_.launch_overhead + waves * ops_each / params_.gamma;
+    }
+
+private:
+    DeviceParams params_;
+    DeviceStats stats_;
+};
+
+}  // namespace hpu::sim

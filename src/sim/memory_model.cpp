@@ -1,0 +1,36 @@
+#include "sim/memory_model.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace hpu::sim {
+
+TransactionReport analyze_wave(std::span<const AccessTrace> items, std::uint64_t coalesce_width) {
+    HPU_CHECK(coalesce_width >= 1, "coalesce width must be >= 1");
+    TransactionReport r;
+    for (const auto& t : items) {
+        r.steps = std::max<std::uint64_t>(r.steps, t.size());
+        r.accesses += t.size();
+    }
+    std::unordered_set<std::uint64_t> segments;
+    for (std::uint64_t step = 0; step < r.steps; ++step) {
+        segments.clear();
+        for (const auto& t : items) {
+            if (step < t.size()) segments.insert(t[step] / coalesce_width);
+        }
+        r.transactions += segments.size();
+    }
+    if (r.accesses > 0) {
+        r.expansion = static_cast<double>(r.transactions * coalesce_width) /
+                      static_cast<double>(r.accesses);
+    }
+    return r;
+}
+
+double effective_cost_per_word(const TransactionReport& report) {
+    return std::max(1.0, report.expansion);
+}
+
+}  // namespace hpu::sim

@@ -1,0 +1,37 @@
+// SIMT memory-transaction analysis (full-trace mode). Given the address
+// streams of the work-items in one wave, computes how many memory
+// transactions the wave issues per lockstep access step — the quantity the
+// §6.3 coalescing permutation optimizes. The Counts-mode cost (Pattern::
+// kCoalesced vs kStrided in OpCounter) is the cheap per-item approximation
+// of this analysis; unit tests cross-validate the two on the mergesort
+// access patterns.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hpu::sim {
+
+/// One work-item's address trace: the sequence of word indices it accessed,
+/// in program order. Step k across items models the SIMT lockstep.
+using AccessTrace = std::vector<std::uint64_t>;
+
+struct TransactionReport {
+    std::uint64_t steps = 0;          ///< max trace length in the wave
+    std::uint64_t accesses = 0;       ///< total words accessed
+    std::uint64_t transactions = 0;   ///< aligned segments fetched
+    /// transactions * coalesce_width / accesses: 1.0 = perfectly coalesced,
+    /// ~coalesce_width = fully scattered.
+    double expansion = 0.0;
+};
+
+/// Analyzes one wave. `coalesce_width` is the transaction size in words;
+/// a transaction covers the aligned segment [k·w, (k+1)·w).
+TransactionReport analyze_wave(std::span<const AccessTrace> items, std::uint64_t coalesce_width);
+
+/// Convenience: the per-word device cost implied by a report — what
+/// Pattern-based counting approximates. cost = expansion (clamped to >= 1).
+double effective_cost_per_word(const TransactionReport& report);
+
+}  // namespace hpu::sim

@@ -1,0 +1,50 @@
+// Per-work-item (and per-CPU-task) operation accounting. Kernels and CPU
+// task bodies charge the work they do; the cost model (sim/device.hpp,
+// sim/cpu_unit.hpp) converts charges into virtual time.
+#pragma once
+
+#include <cstdint>
+
+namespace hpu::sim {
+
+/// Memory access pattern, from the point of view of a SIMT wave: whether
+/// the k-th accesses of adjacent work-items land in adjacent words.
+enum class Pattern : std::uint8_t {
+    kCoalesced,  ///< adjacent items touch adjacent words (one transaction)
+    kStrided,    ///< each item touches its own distant segment
+};
+
+/// Charge accumulator. Plain data; cheap to copy and merge.
+struct OpCounter {
+    std::uint64_t compute = 0;         ///< scalar compute ops
+    std::uint64_t mem_coalesced = 0;   ///< words accessed coalesced
+    std::uint64_t mem_strided = 0;     ///< words accessed strided
+
+    void charge_compute(std::uint64_t ops) noexcept { compute += ops; }
+    void charge_mem(std::uint64_t words, Pattern p) noexcept {
+        if (p == Pattern::kCoalesced) {
+            mem_coalesced += words;
+        } else {
+            mem_strided += words;
+        }
+    }
+
+    /// Total ops as seen by a CPU core: every word costs 1 op.
+    std::uint64_t cpu_ops() const noexcept { return compute + mem_coalesced + mem_strided; }
+
+    /// Total ops as seen by a GPU lane: strided words pay the SIMT
+    /// transaction penalty.
+    double gpu_ops(double strided_penalty) const noexcept {
+        return static_cast<double>(compute) + static_cast<double>(mem_coalesced) +
+               static_cast<double>(mem_strided) * strided_penalty;
+    }
+
+    OpCounter& operator+=(const OpCounter& o) noexcept {
+        compute += o.compute;
+        mem_coalesced += o.mem_coalesced;
+        mem_strided += o.mem_strided;
+        return *this;
+    }
+};
+
+}  // namespace hpu::sim

@@ -1,0 +1,51 @@
+#include "sim/timeline.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+namespace hpu::sim {
+
+const char* to_string(EventKind k) noexcept {
+    switch (k) {
+        case EventKind::kCpuLevel: return "cpu-level";
+        case EventKind::kGpuKernel: return "gpu-kernel";
+        case EventKind::kTransferToGpu: return "xfer->gpu";
+        case EventKind::kTransferToCpu: return "xfer->cpu";
+    }
+    return "?";
+}
+
+Ticks Timeline::record(EventKind kind, std::string label, Ticks start, Ticks duration) {
+    events_.push_back(Event{kind, std::move(label), start, start + duration});
+    return events_.back().end;
+}
+
+std::size_t Timeline::count(EventKind kind) const noexcept {
+    return static_cast<std::size_t>(
+        std::count_if(events_.begin(), events_.end(),
+                      [kind](const Event& e) { return e.kind == kind; }));
+}
+
+Ticks Timeline::total(EventKind kind) const noexcept {
+    Ticks t = 0.0;
+    for (const Event& e : events_) {
+        if (e.kind == kind) t += e.duration();
+    }
+    return t;
+}
+
+Ticks Timeline::span_end() const noexcept {
+    Ticks t = 0.0;
+    for (const Event& e : events_) t = std::max(t, e.end);
+    return t;
+}
+
+void Timeline::print(std::ostream& os) const {
+    for (const Event& e : events_) {
+        os << std::setw(10) << to_string(e.kind) << "  [" << std::setw(14) << e.start << ", "
+           << std::setw(14) << e.end << ")  " << e.label << '\n';
+    }
+}
+
+}  // namespace hpu::sim

@@ -1,0 +1,55 @@
+// Execution timeline: an ordered log of timed events (kernel launches,
+// transfers, CPU levels) on the virtual clock. Schedulers record into a
+// Timeline so tests and benches can inspect where time went — e.g. that the
+// advanced scheduler really performs exactly two transfers (§5.2).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/params.hpp"
+
+namespace hpu::sim {
+
+enum class EventKind : std::uint8_t {
+    kCpuLevel,      ///< a recursion-tree level (or part of one) on the CPU
+    kGpuKernel,     ///< a kernel launch on the device
+    kTransferToGpu,
+    kTransferToCpu,
+};
+
+const char* to_string(EventKind k) noexcept;
+
+struct Event {
+    EventKind kind;
+    std::string label;
+    Ticks start = 0.0;
+    Ticks end = 0.0;
+
+    Ticks duration() const noexcept { return end - start; }
+};
+
+class Timeline {
+public:
+    /// Appends an event of `duration` starting at `start`; returns its end.
+    Ticks record(EventKind kind, std::string label, Ticks start, Ticks duration);
+
+    const std::vector<Event>& events() const noexcept { return events_; }
+
+    std::size_t count(EventKind kind) const noexcept;
+    /// Sum of durations of all events of `kind`.
+    Ticks total(EventKind kind) const noexcept;
+    /// Latest event end time (0 when empty).
+    Ticks span_end() const noexcept;
+
+    void clear() noexcept { events_.clear(); }
+
+    void print(std::ostream& os) const;
+
+private:
+    std::vector<Event> events_;
+};
+
+}  // namespace hpu::sim

@@ -1,0 +1,39 @@
+// Error-handling primitives used throughout the hpu library.
+//
+// Library code validates its preconditions with HPU_CHECK, which throws
+// hpu::util::HpuError carrying the failed condition and a message. We throw
+// rather than abort because the library is embedded in host applications
+// (examples, benches, tests) that want to recover or report.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hpu::util {
+
+/// Exception type for all precondition and invariant violations in hpu.
+class HpuError : public std::runtime_error {
+public:
+    explicit HpuError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise_check_failure(const char* cond, const char* file, int line,
+                                             const std::string& msg) {
+    std::ostringstream os;
+    os << "HPU_CHECK failed: (" << cond << ") at " << file << ':' << line;
+    if (!msg.empty()) os << " — " << msg;
+    throw HpuError(os.str());
+}
+}  // namespace detail
+
+}  // namespace hpu::util
+
+/// Validate a precondition; throws hpu::util::HpuError on failure.
+/// Usage: HPU_CHECK(n > 0, "input size must be positive");
+#define HPU_CHECK(cond, msg)                                                              \
+    do {                                                                                  \
+        if (!(cond)) ::hpu::util::detail::raise_check_failure(#cond, __FILE__, __LINE__,  \
+                                                              (msg));                     \
+    } while (false)

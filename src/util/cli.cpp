@@ -1,0 +1,50 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace hpu::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(std::move(arg));
+            continue;
+        }
+        arg.erase(0, 2);
+        if (const auto eq = arg.find('='); eq != std::string::npos) {
+            flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+        } else {
+            flags_[arg] = "true";  // boolean switch; values use --name=value
+        }
+    }
+}
+
+bool Cli::has(const std::string& name) const { return flags_.contains(name); }
+
+std::string Cli::get(const std::string& name, const std::string& def) const {
+    const auto it = flags_.find(name);
+    return it == flags_.end() ? def : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t def) const {
+    const auto it = flags_.find(name);
+    if (it == flags_.end()) return def;
+    return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name, double def) const {
+    const auto it = flags_.find(name);
+    if (it == flags_.end()) return def;
+    return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& name, bool def) const {
+    const auto it = flags_.find(name);
+    if (it == flags_.end()) return def;
+    return it->second != "false" && it->second != "0";
+}
+
+}  // namespace hpu::util

@@ -1,0 +1,48 @@
+// Small integer/float math helpers shared across the library.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace hpu::util {
+
+/// True iff x is a power of two (x > 0).
+constexpr bool is_pow2(std::uint64_t x) noexcept { return x != 0 && (x & (x - 1)) == 0; }
+
+/// floor(log2(x)) for x >= 1.
+constexpr std::uint32_t ilog2(std::uint64_t x) noexcept {
+    return 63u - static_cast<std::uint32_t>(std::countl_zero(x | 1));
+}
+
+/// ceil(log2(x)) for x >= 1.
+constexpr std::uint32_t ceil_log2(std::uint64_t x) noexcept {
+    return ilog2(x) + (is_pow2(x) ? 0u : 1u);
+}
+
+/// Ceiling division for non-negative integers.
+constexpr std::uint64_t ceil_div(std::uint64_t num, std::uint64_t den) noexcept {
+    return (num + den - 1) / den;
+}
+
+/// Integer power base^exp (no overflow checking; callers use small exponents).
+constexpr std::uint64_t ipow(std::uint64_t base, std::uint32_t exp) noexcept {
+    std::uint64_t r = 1;
+    while (exp--) r *= base;
+    return r;
+}
+
+/// log base `b` of `x` as a double, for b > 1, x > 0.
+inline double logb(double x, double b) {
+    HPU_CHECK(x > 0 && b > 1, "logb requires x > 0 and base > 1");
+    return std::log(x) / std::log(b);
+}
+
+/// Round-half-up to the nearest integer, returned as int64.
+constexpr std::int64_t iround(double x) noexcept {
+    return static_cast<std::int64_t>(x >= 0 ? x + 0.5 : x - 0.5);
+}
+
+}  // namespace hpu::util

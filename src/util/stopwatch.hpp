@@ -1,0 +1,26 @@
+// Wall-clock stopwatch. The primary time base of this reproduction is the
+// *virtual* clock in hpu::sim (see DESIGN.md §2), but benches also report
+// wall time for the functional execution where it is meaningful.
+#pragma once
+
+#include <chrono>
+
+namespace hpu::util {
+
+class Stopwatch {
+public:
+    Stopwatch() : start_(Clock::now()) {}
+
+    void reset() { start_ = Clock::now(); }
+
+    /// Elapsed seconds since construction or last reset().
+    double seconds() const {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+}  // namespace hpu::util

@@ -1,0 +1,76 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace hpu::util {
+
+Table::Table(std::vector<std::string> headers, int precision)
+    : headers_(std::move(headers)), precision_(precision) {
+    HPU_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+Table& Table::add_row(std::vector<Cell> row) {
+    HPU_CHECK(row.size() == headers_.size(), "row width must match header count");
+    rows_.push_back(std::move(row));
+    return *this;
+}
+
+std::string Table::render(const Cell& c) const {
+    std::ostringstream os;
+    if (const auto* s = std::get_if<std::string>(&c)) {
+        os << *s;
+    } else if (const auto* i = std::get_if<std::int64_t>(&c)) {
+        os << *i;
+    } else {
+        os << std::fixed << std::setprecision(precision_) << std::get<double>(c);
+    }
+    return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t j = 0; j < headers_.size(); ++j) width[j] = headers_[j].size();
+    std::vector<std::vector<std::string>> rendered;
+    rendered.reserve(rows_.size());
+    for (const auto& row : rows_) {
+        std::vector<std::string> r;
+        r.reserve(row.size());
+        for (std::size_t j = 0; j < row.size(); ++j) {
+            r.push_back(render(row[j]));
+            width[j] = std::max(width[j], r.back().size());
+        }
+        rendered.push_back(std::move(r));
+    }
+    auto line = [&](const std::vector<std::string>& cells) {
+        for (std::size_t j = 0; j < cells.size(); ++j) {
+            os << (j ? "  " : "") << std::setw(static_cast<int>(width[j])) << cells[j];
+        }
+        os << '\n';
+    };
+    line(headers_);
+    std::size_t total = 0;
+    for (std::size_t j = 0; j < width.size(); ++j) total += width[j] + (j ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto& r : rendered) line(r);
+}
+
+void Table::print_csv(std::ostream& os) const {
+    auto csv_line = [&](const std::vector<std::string>& cells) {
+        for (std::size_t j = 0; j < cells.size(); ++j) os << (j ? "," : "") << cells[j];
+        os << '\n';
+    };
+    csv_line(headers_);
+    for (const auto& row : rows_) {
+        std::vector<std::string> r;
+        r.reserve(row.size());
+        for (const auto& c : row) r.push_back(render(c));
+        csv_line(r);
+    }
+}
+
+}  // namespace hpu::util

@@ -1,0 +1,38 @@
+// Lightweight tabular output used by the benchmark harness to print the
+// rows/series of each paper table and figure, in both human-readable ASCII
+// and machine-readable CSV.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace hpu::util {
+
+/// One cell: text, integer, or floating point (printed with `precision`).
+using Cell = std::variant<std::string, std::int64_t, double>;
+
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers, int precision = 4);
+
+    Table& add_row(std::vector<Cell> row);
+
+    std::size_t row_count() const noexcept { return rows_.size(); }
+
+    /// Pretty-prints with aligned columns and a header rule.
+    void print(std::ostream& os) const;
+
+    /// Comma-separated output, one line per row, headers first.
+    void print_csv(std::ostream& os) const;
+
+private:
+    std::string render(const Cell& c) const;
+
+    std::vector<std::string> headers_;
+    std::vector<std::vector<Cell>> rows_;
+    int precision_;
+};
+
+}  // namespace hpu::util

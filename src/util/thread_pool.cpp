@@ -1,0 +1,66 @@
+#include "util/thread_pool.hpp"
+
+namespace hpu::util {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+    threads_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+        threads_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard lock(mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::drain_batch(std::unique_lock<std::mutex>& lock) {
+    Batch& b = *batch_;
+    while (b.next < b.count) {
+        const std::size_t i = b.next++;
+        lock.unlock();
+        std::exception_ptr err;
+        try {
+            (*b.fn)(i);
+        } catch (...) {
+            err = std::current_exception();
+        }
+        lock.lock();
+        if (err && !b.error) b.error = err;
+        if (++b.done == b.count) done_cv_.notify_all();
+    }
+}
+
+void ThreadPool::worker_loop() {
+    std::unique_lock lock(mu_);
+    for (;;) {
+        work_cv_.wait(lock, [this] { return stop_ || (batch_ && batch_->next < batch_->count); });
+        if (stop_) return;
+        drain_batch(lock);
+    }
+}
+
+void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn) {
+    if (count == 0) return;
+    if (threads_.empty()) {
+        for (std::size_t i = 0; i < count; ++i) fn(i);
+        return;
+    }
+    Batch b;
+    b.count = count;
+    b.fn = &fn;
+    std::unique_lock lock(mu_);
+    HPU_CHECK(batch_ == nullptr, "parallel_for is not reentrant");
+    batch_ = &b;
+    work_cv_.notify_all();
+    drain_batch(lock);  // caller participates
+    done_cv_.wait(lock, [&b] { return b.done == b.count; });
+    batch_ = nullptr;
+    if (b.error) std::rethrow_exception(b.error);
+}
+
+}  // namespace hpu::util

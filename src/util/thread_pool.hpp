@@ -1,0 +1,59 @@
+// A fixed-size thread pool used for the *functional* execution of CPU-side
+// tasks (the virtual clock handles performance accounting separately; see
+// sim/cpu_unit.hpp). The pool supports bulk parallel-for submission, which is
+// the only pattern the breadth-first executors need: run m independent tasks
+// of one recursion-tree level, then barrier.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace hpu::util {
+
+class ThreadPool {
+public:
+    /// Creates `workers` threads. workers == 0 means "run inline on the
+    /// caller" — useful on single-core hosts and in unit tests that want
+    /// deterministic single-threaded execution.
+    explicit ThreadPool(std::size_t workers);
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+    ~ThreadPool();
+
+    std::size_t worker_count() const noexcept { return threads_.size(); }
+
+    /// Runs fn(i) for i in [0, count) across the pool and blocks until all
+    /// complete. Rethrows the first task exception on the caller.
+    void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+private:
+    struct Batch {
+        std::size_t count = 0;
+        const std::function<void(std::size_t)>* fn = nullptr;
+        std::size_t next = 0;       // next index to claim
+        std::size_t done = 0;       // completed indices
+        std::exception_ptr error;   // first failure
+    };
+
+    void worker_loop();
+    // Claims and runs indices from the current batch until exhausted.
+    void drain_batch(std::unique_lock<std::mutex>& lock);
+
+    std::vector<std::thread> threads_;
+    std::mutex mu_;
+    std::condition_variable work_cv_;   // signals workers: batch available / shutdown
+    std::condition_variable done_cv_;   // signals submitter: batch complete
+    Batch* batch_ = nullptr;            // non-null while a batch is in flight
+    bool stop_ = false;
+};
+
+}  // namespace hpu::util

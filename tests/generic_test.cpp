@@ -1,0 +1,168 @@
+// Layer-1 engine tests: the Algorithm 1 → Algorithm 2 rewrite must be
+// semantics-preserving for every algorithm, including ones with non-trivial
+// Result types and uneven division (non-power-of-two inputs).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "algos/dc_problems.hpp"
+#include "core/generic.hpp"
+#include "util/rng.hpp"
+
+namespace hpu::core {
+namespace {
+
+using algos::GenericMatmul;
+using algos::GenericSum;
+using algos::Matrix;
+using algos::MaxSubarray;
+
+static_assert(DCAlgorithm<GenericSum>);
+static_assert(DCAlgorithm<MaxSubarray>);
+static_assert(DCAlgorithm<GenericMatmul>);
+
+TEST(GenericSum, MatchesAccumulate) {
+    util::Rng rng(1);
+    for (std::size_t n : {1u, 2u, 3u, 7u, 64u, 1000u}) {
+        std::vector<std::int64_t> v(n);
+        for (auto& x : v) x = rng.uniform_int(-100, 100);
+        const GenericSum alg;
+        const auto expect = std::accumulate(v.begin(), v.end(), std::int64_t{0});
+        EXPECT_EQ(run_recursive(alg, GenericSum::Param{v}), expect) << "n=" << n;
+        EXPECT_EQ(run_breadth_first(alg, GenericSum::Param{v}), expect) << "n=" << n;
+    }
+}
+
+TEST(GenericSum, SingleAndEmpty) {
+    const GenericSum alg;
+    std::vector<std::int64_t> one = {42};
+    EXPECT_EQ(run_breadth_first(alg, GenericSum::Param{one}), 42);
+    std::vector<std::int64_t> none;
+    EXPECT_EQ(run_breadth_first(alg, GenericSum::Param{none}), 0);
+}
+
+std::int64_t brute_max_subarray(std::span<const std::int64_t> v) {
+    std::int64_t best = 0;  // empty subarray allowed
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        std::int64_t run = 0;
+        for (std::size_t j = i; j < v.size(); ++j) {
+            run += v[j];
+            best = std::max(best, run);
+        }
+    }
+    return best;
+}
+
+class MaxSubarrayProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaxSubarrayProperty, RecursiveEqualsBreadthFirstEqualsBrute) {
+    util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, 200));
+    std::vector<std::int64_t> v(n);
+    for (auto& x : v) x = rng.uniform_int(-50, 50);
+    const MaxSubarray alg;
+    const auto rec = run_recursive(alg, MaxSubarray::Param{v});
+    const auto bf = run_breadth_first(alg, MaxSubarray::Param{v});
+    const auto expect = brute_max_subarray(v);
+    EXPECT_EQ(rec.best, expect);
+    EXPECT_EQ(bf.best, expect);
+    EXPECT_EQ(bf.total, std::accumulate(v.begin(), v.end(), std::int64_t{0}));
+    EXPECT_EQ(rec.prefix, bf.prefix);
+    EXPECT_EQ(rec.suffix, bf.suffix);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxSubarrayProperty, ::testing::Range(0, 25));
+
+Matrix random_matrix(std::size_t n, util::Rng& rng) {
+    Matrix m = Matrix::zero(n);
+    for (auto& x : m.v) x = rng.uniform_real(-2.0, 2.0);
+    return m;
+}
+
+Matrix naive_matmul(const Matrix& a, const Matrix& b) {
+    Matrix c = Matrix::zero(a.n);
+    for (std::size_t i = 0; i < a.n; ++i) {
+        for (std::size_t k = 0; k < a.n; ++k) {
+            for (std::size_t j = 0; j < a.n; ++j) {
+                c.at(i, j) += a.at(i, k) * b.at(k, j);
+            }
+        }
+    }
+    return c;
+}
+
+class MatmulProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MatmulProperty, BothDriversMatchNaive) {
+    util::Rng rng(GetParam() * 31 + 5);
+    const std::size_t n = GetParam();
+    const Matrix a = random_matrix(n, rng);
+    const Matrix b = random_matrix(n, rng);
+    const Matrix expect = naive_matmul(a, b);
+    const GenericMatmul alg;
+    const Matrix rec = run_recursive(alg, GenericMatmul::Param{a, b});
+    const Matrix bf = run_breadth_first(alg, GenericMatmul::Param{a, b});
+    ASSERT_EQ(rec.n, n);
+    ASSERT_EQ(bf.n, n);
+    for (std::size_t i = 0; i < n * n; ++i) {
+        EXPECT_NEAR(rec.v[i], expect.v[i], 1e-9);
+        EXPECT_NEAR(bf.v[i], expect.v[i], 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MatmulProperty, ::testing::Values(1, 2, 4, 8, 16));
+
+// A pathological algorithm whose divide returns nothing: both engines must
+// reject it rather than loop or crash.
+struct BadDivide {
+    using Param = int;
+    using Result = int;
+    bool is_base(const Param& p) const { return p == 0; }
+    Result base_case(const Param&) const { return 0; }
+    std::vector<Param> divide(const Param&) const { return {}; }
+    Result combine(const Param&, std::span<const Result>) const { return 0; }
+};
+
+TEST(GenericEngine, EmptyDivideIsAnError) {
+    const BadDivide alg;
+    EXPECT_THROW(run_recursive(alg, 1), util::HpuError);
+    EXPECT_THROW(run_breadth_first(alg, 1), util::HpuError);
+}
+
+// Mixed-depth base cases: verify the breadth-first engine's deferred
+// base-case handling (§4.1) on an algorithm whose left branch bottoms out
+// earlier than its right branch.
+struct UnevenSum {
+    struct Param {
+        std::span<const std::int64_t> slice;
+    };
+    using Result = std::int64_t;
+    bool is_base(const Param& p) const { return p.slice.size() <= 2; }
+    Result base_case(const Param& p) const {
+        return std::accumulate(p.slice.begin(), p.slice.end(), std::int64_t{0});
+    }
+    std::vector<Param> divide(const Param& p) const {
+        // Uneven: first third / rest.
+        const std::size_t cut = std::max<std::size_t>(1, p.slice.size() / 3);
+        return {Param{p.slice.subspan(0, cut)}, Param{p.slice.subspan(cut)}};
+    }
+    Result combine(const Param&, std::span<const Result> rs) const {
+        return std::accumulate(rs.begin(), rs.end(), std::int64_t{0});
+    }
+};
+
+TEST(GenericEngine, UnevenTreesWithEarlyBaseCases) {
+    util::Rng rng(9);
+    for (int trial = 0; trial < 10; ++trial) {
+        const std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, 500));
+        std::vector<std::int64_t> v(n);
+        for (auto& x : v) x = rng.uniform_int(-10, 10);
+        const UnevenSum alg;
+        const auto expect = std::accumulate(v.begin(), v.end(), std::int64_t{0});
+        EXPECT_EQ(run_recursive(alg, UnevenSum::Param{v}), expect);
+        EXPECT_EQ(run_breadth_first(alg, UnevenSum::Param{v}), expect);
+    }
+}
+
+}  // namespace
+}  // namespace hpu::core

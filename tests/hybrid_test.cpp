@@ -1,0 +1,233 @@
+// Hybrid scheduler tests: correctness of the basic and advanced schedulers
+// over randomized inputs and (α, y) grids, the two-transfer invariant of
+// §5.2, and agreement between the simulated schedule and the analytical
+// model at the model's operating point.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "algos/binary_reduce.hpp"
+#include "algos/mergesort.hpp"
+#include "core/hybrid.hpp"
+#include "model/advanced.hpp"
+#include "platforms/platforms.hpp"
+#include "util/rng.hpp"
+
+namespace hpu::core {
+namespace {
+
+std::vector<std::int32_t> random_input(std::uint64_t n, std::uint64_t seed) {
+    util::Rng rng(seed);
+    return rng.int_vector(n, 0, static_cast<std::int64_t>(2 * n));
+}
+
+TEST(BasicHybrid, SortsCorrectly) {
+    const std::uint64_t n = 1 << 14;
+    auto data = random_input(n, 1);
+    auto expect = data;
+    std::sort(expect.begin(), expect.end());
+    sim::Hpu h(platforms::hpu1());
+    algos::MergesortCoalesced<std::int32_t> alg;
+    run_basic_hybrid(h, alg, std::span(data));
+    EXPECT_EQ(data, expect);
+}
+
+TEST(BasicHybrid, ExactlyOneRoundTrip) {
+    sim::Hpu h(platforms::hpu1());
+    algos::MergesortCoalesced<std::int32_t> alg;
+    auto data = random_input(1 << 12, 2);
+    run_basic_hybrid(h, alg, std::span(data));
+    EXPECT_EQ(h.timeline().count(sim::EventKind::kTransferToGpu), 1u);
+    EXPECT_EQ(h.timeline().count(sim::EventKind::kTransferToCpu), 1u);
+}
+
+TEST(BasicHybrid, BeatsMulticoreAndGpuOnly) {
+    const std::uint64_t n = 1 << 16;
+    sim::Hpu h(platforms::hpu1());
+    algos::MergesortCoalesced<std::int32_t> alg;
+    ExecOptions an;
+    an.functional = false;
+    std::vector<std::int32_t> dummy(n);
+    const auto mc = run_multicore(h.cpu(), alg, std::span(dummy), an);
+    const auto gp = run_gpu(h, alg, std::span(dummy), an);
+    const auto bh = run_basic_hybrid(h, alg, std::span(dummy), an);
+    EXPECT_LT(bh.total, mc.total);
+    EXPECT_LT(bh.total, gp.total);
+}
+
+TEST(BasicHybrid, WeakGpuFallsBackToCpu) {
+    sim::HpuParams hw = platforms::hpu1();
+    hw.gpu.g = 8;  // γ·g < p
+    sim::Hpu h(hw);
+    algos::MergesortCoalesced<std::int32_t> alg;
+    auto data = random_input(1 << 10, 3);
+    auto expect = data;
+    std::sort(expect.begin(), expect.end());
+    const auto rep = run_basic_hybrid(h, alg, std::span(data));
+    EXPECT_EQ(data, expect);
+    EXPECT_EQ(rep.levels_gpu, 0u);
+    EXPECT_DOUBLE_EQ(rep.transfer, 0.0);
+}
+
+class AdvancedHybridGrid
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t, std::uint64_t>> {};
+
+TEST_P(AdvancedHybridGrid, SortsForAllParameterCombinations) {
+    const auto [alpha, y, seed] = GetParam();
+    const std::uint64_t n = 1 << 12;  // L = 12
+    auto data = random_input(n, seed);
+    auto expect = data;
+    std::sort(expect.begin(), expect.end());
+    sim::Hpu h(platforms::hpu1());
+    algos::MergesortCoalesced<std::int32_t> alg;
+    const auto rep = run_advanced_hybrid(h, alg, std::span(data), alpha, y);
+    EXPECT_EQ(data, expect) << "alpha=" << alpha << " y=" << y;
+    EXPECT_NEAR(rep.alpha_effective, alpha, 0.51);  // quantized to split granularity
+    EXPECT_GT(rep.total, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaYGrid, AdvancedHybridGrid,
+    ::testing::Combine(::testing::Values(0.05, 0.16, 0.3, 0.5, 0.8),
+                       ::testing::Values(1, 4, 7, 10, 12),
+                       ::testing::Values(101)));
+
+TEST(AdvancedHybrid, PlainVariantAlsoSorts) {
+    const std::uint64_t n = 1 << 12;
+    auto data = random_input(n, 6);
+    auto expect = data;
+    std::sort(expect.begin(), expect.end());
+    sim::Hpu h(platforms::hpu2());
+    algos::MergesortPlain<std::int32_t> alg;
+    run_advanced_hybrid(h, alg, std::span(data), 0.25, 8);
+    EXPECT_EQ(data, expect);
+}
+
+TEST(AdvancedHybrid, ExactlyTwoTransfers) {
+    sim::Hpu h(platforms::hpu1());
+    algos::MergesortCoalesced<std::int32_t> alg;
+    auto data = random_input(1 << 12, 7);
+    run_advanced_hybrid(h, alg, std::span(data), 0.2, 8);
+    // §5.2: "we restrict the number of data transfer between cpu and gpu to
+    // two points during the execution".
+    EXPECT_EQ(h.timeline().count(sim::EventKind::kTransferToGpu), 1u);
+    EXPECT_EQ(h.timeline().count(sim::EventKind::kTransferToCpu), 1u);
+}
+
+TEST(AdvancedHybrid, RejectsBadParameters) {
+    sim::Hpu h(platforms::hpu1());
+    algos::MergesortCoalesced<std::int32_t> alg;
+    auto data = random_input(1 << 10, 8);
+    EXPECT_THROW(run_advanced_hybrid(h, alg, std::span(data), 0.0, 5), util::HpuError);
+    EXPECT_THROW(run_advanced_hybrid(h, alg, std::span(data), 1.0, 5), util::HpuError);
+    EXPECT_THROW(run_advanced_hybrid(h, alg, std::span(data), 0.2, 0), util::HpuError);
+    EXPECT_THROW(run_advanced_hybrid(h, alg, std::span(data), 0.2, 11), util::HpuError);
+}
+
+TEST(AdvancedHybrid, SimulatedTimeTracksModelAtOptimum) {
+    const std::uint64_t n = 1 << 20;
+    sim::Hpu h(platforms::hpu1());
+    algos::MergesortCoalesced<std::int32_t> alg;
+    model::AdvancedModel m(h.params(), alg.recurrence(), static_cast<double>(n));
+    const auto opt = m.optimize();
+    ExecOptions an;
+    an.functional = false;
+    AdvancedOptions adv;
+    adv.exec = an;
+    std::vector<std::int32_t> dummy(n);
+    const auto seq = run_sequential(h.cpu(), alg, std::span(dummy), an);
+    const auto rep = run_advanced_hybrid(h, alg, std::span(dummy), opt.alpha,
+                                         static_cast<std::uint64_t>(std::llround(opt.y)), adv);
+    const double simulated = seq.total / rep.total;
+    EXPECT_NEAR(simulated, opt.speedup, opt.speedup * 0.10);
+}
+
+TEST(AdvancedHybrid, ParallelPhaseBalancedAtModelOptimum) {
+    // Fig. 8's blue line: at the model's (α*, y*) the GPU busy time and the
+    // CPU parallel-phase time are close to equal.
+    const std::uint64_t n = 1 << 20;
+    sim::Hpu h(platforms::hpu1());
+    algos::MergesortCoalesced<std::int32_t> alg;
+    model::AdvancedModel m(h.params(), alg.recurrence(), static_cast<double>(n));
+    const auto opt = m.optimize();
+    ExecOptions an;
+    an.functional = false;
+    AdvancedOptions adv;
+    adv.exec = an;
+    std::vector<std::int32_t> dummy(n);
+    const auto rep = run_advanced_hybrid(h, alg, std::span(dummy), opt.alpha,
+                                         static_cast<std::uint64_t>(std::llround(opt.y)), adv);
+    // Kernel time vs CPU parallel-phase time (the model balances compute;
+    // transfers sit outside the Tg = Tc equation).
+    const double ratio = rep.gpu_busy / rep.cpu_busy;
+    EXPECT_NEAR(ratio, 1.0, 0.35);
+}
+
+TEST(AdvancedHybrid, OffOptimalParametersAreSlower) {
+    const std::uint64_t n = 1 << 18;
+    sim::Hpu h(platforms::hpu1());
+    algos::MergesortCoalesced<std::int32_t> alg;
+    model::AdvancedModel m(h.params(), alg.recurrence(), static_cast<double>(n));
+    const auto opt = m.optimize();
+    ExecOptions an;
+    an.functional = false;
+    AdvancedOptions adv;
+    adv.exec = an;
+    std::vector<std::int32_t> dummy(n);
+    const auto best = run_advanced_hybrid(h, alg, std::span(dummy), opt.alpha,
+                                          static_cast<std::uint64_t>(std::llround(opt.y)), adv);
+    // Pathological α: give the CPU almost everything.
+    const auto bad = run_advanced_hybrid(h, alg, std::span(dummy), 0.9, 10, adv);
+    EXPECT_LT(best.total, bad.total);
+}
+
+TEST(AdvancedHybrid, SplitTasksKnobControlsGranularity) {
+    sim::Hpu h(platforms::hpu1());
+    algos::MergesortCoalesced<std::int32_t> alg;
+    auto data = random_input(1 << 12, 9);
+    auto expect = data;
+    std::sort(expect.begin(), expect.end());
+    AdvancedOptions adv;
+    adv.split_tasks = 256;
+    const auto rep = run_advanced_hybrid(h, alg, std::span(data), 0.17, 9, adv);
+    EXPECT_EQ(data, expect);
+    // 256-way split quantizes α to 1/256.
+    EXPECT_NEAR(rep.alpha_effective, 0.17, 1.0 / 256.0 + 1e-12);
+}
+
+TEST(AdvancedHybrid, WorksOnReductions) {
+    const std::uint64_t n = 1 << 14;
+    util::Rng rng(10);
+    auto base = rng.int_vector(n, -100, 100);
+    const std::int64_t expect = std::accumulate(base.begin(), base.end(), std::int64_t{0});
+    sim::Hpu h(platforms::hpu2());
+    const auto alg = algos::make_sum<std::int32_t>();
+    auto d = base;
+    run_advanced_hybrid(h, alg, std::span(d), 0.3, 7);
+    EXPECT_EQ(d[0], expect);
+    d = base;
+    run_basic_hybrid(h, alg, std::span(d));
+    EXPECT_EQ(d[0], expect);
+}
+
+TEST(AdvancedHybrid, ContentionPenaltySlowsMeasuredRuns) {
+    // The Fig. 8 "measured vs predicted" gap: enabling the LLC contention
+    // model must lower the simulated speedup for cache-busting sizes.
+    const std::uint64_t n = 1 << 22;  // 2·n·4 bytes = 32 MB >> 8 MB LLC
+    sim::HpuParams plain_hw = platforms::hpu1();
+    sim::HpuParams contended = plain_hw;
+    contended.cpu.contention = 0.08;
+    algos::MergesortCoalesced<std::int32_t> alg;
+    ExecOptions an;
+    an.functional = false;
+    AdvancedOptions adv;
+    adv.exec = an;
+    std::vector<std::int32_t> dummy(n);
+    sim::Hpu h1(plain_hw), h2(contended);
+    const auto fast = run_advanced_hybrid(h1, alg, std::span(dummy), 0.17, 10, adv);
+    const auto slow = run_advanced_hybrid(h2, alg, std::span(dummy), 0.17, 10, adv);
+    EXPECT_GT(slow.total, fast.total);
+}
+
+}  // namespace
+}  // namespace hpu::core

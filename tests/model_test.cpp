@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include "model/advanced.hpp"
+#include "model/basic.hpp"
+#include "model/estimate.hpp"
+#include "model/recurrence.hpp"
+#include "platforms/platforms.hpp"
+
+namespace hpu::model {
+namespace {
+
+/// The paper's §5.2.2 setting: mergesort (a=b=2, f(n)=n), HPU1 parameters
+/// (p=4, g=4096, γ⁻¹=160), n=2²⁴, transfers ignored.
+AdvancedModel paper_example() {
+    sim::HpuParams hw = platforms::hpu1();
+    hw.link.lambda = 0.0;
+    hw.link.delta = 0.0;
+    return AdvancedModel(hw, mergesort_recurrence(1.0), static_cast<double>(1ull << 24));
+}
+
+TEST(Recurrence, MergesortShape) {
+    const Recurrence r = mergesort_recurrence(1.0);
+    EXPECT_DOUBLE_EQ(r.levels(1024.0), 10.0);
+    EXPECT_DOUBLE_EQ(r.leaves(1024.0), 1024.0);
+    EXPECT_DOUBLE_EQ(r.task_cost(1024.0, 2.0), 256.0);
+    EXPECT_DOUBLE_EQ(r.level_work(1024.0, 2.0), 1024.0);  // every level costs n
+    // Total = n·L (levels) + n (leaves).
+    EXPECT_DOUBLE_EQ(r.seq_work(1024.0), 1024.0 * 11.0);
+}
+
+TEST(Recurrence, SumShape) {
+    const Recurrence r = sum_recurrence(1.0);
+    EXPECT_DOUBLE_EQ(r.level_work(1024.0, 3.0), 8.0);  // a^3 tasks of cost 1
+}
+
+TEST(Recurrence, MatmulShape) {
+    const Recurrence r = matmul_recurrence(1.0);
+    // n = m² elements: leaves = n^(log_4 8) = n^1.5 = m³ scalar products.
+    EXPECT_NEAR(r.leaves(16.0 * 16.0), 16.0 * 16.0 * 16.0, 1e-6);
+}
+
+TEST(Recurrence, ValidationRejectsBadShapes) {
+    Recurrence r;
+    r.a = 1.0;
+    EXPECT_THROW(r.validate(), util::HpuError);
+    r = Recurrence{};
+    r.leaf_cost = 0.0;
+    EXPECT_THROW(r.validate(), util::HpuError);
+}
+
+TEST(BasicModel, CrossoverLevelClosedForm) {
+    const auto hw = platforms::hpu1();  // p=4, γ=1/160
+    const auto pred = predict_basic(hw, mergesort_recurrence(1.0), 1 << 20);
+    // i* = log2(p/γ) = log2(4·160) = log2(640).
+    EXPECT_NEAR(pred.crossover_level, std::log2(640.0), 1e-9);
+    EXPECT_FALSE(pred.cpu_only);
+}
+
+TEST(BasicModel, CpuFasterAboveGpuFasterBelow) {
+    const auto hw = platforms::hpu1();
+    const Recurrence rec = mergesort_recurrence(1.0);
+    const double n = 1 << 20;
+    const double istar = util::logb(4.0 * 160.0, 2.0);
+    for (double i = 0; i < 20; i += 1.0) {
+        const double tc = basic_cpu_level_time(hw, rec, n, i);
+        const double tg = basic_gpu_level_time(hw, rec, n, i);
+        if (i < std::floor(istar)) {
+            EXPECT_LT(tc, tg) << "level " << i;
+        } else if (i > std::ceil(istar)) {
+            EXPECT_GT(tc, tg) << "level " << i;
+        }
+    }
+}
+
+TEST(BasicModel, WeakGpuStaysOnCpu) {
+    sim::HpuParams hw = platforms::hpu1();
+    hw.gpu.g = 8;             // γ·g = 8/160 < p = 4
+    const auto pred = predict_basic(hw, mergesort_recurrence(1.0), 1 << 16);
+    EXPECT_TRUE(pred.cpu_only);
+    for (const auto& lvl : pred.levels) EXPECT_EQ(lvl.unit, Unit::kCpu);
+}
+
+TEST(BasicModel, SpeedupBounded) {
+    const auto hw = platforms::hpu1();
+    const auto pred = predict_basic(hw, mergesort_recurrence(1.0), 1 << 24);
+    EXPECT_GT(pred.speedup, 1.0);
+    EXPECT_LT(pred.speedup, hw.cpu.p + hw.gpu_power());
+}
+
+// ---- Golden tests against the paper's worked example (§5.2.2, Figs. 3-4).
+
+TEST(AdvancedModel, GoldenOptimalAlpha) {
+    const auto opt = paper_example().optimize();
+    // Paper: α* ≈ 0.16. Our discrete-sum variant lands within ±0.03.
+    EXPECT_NEAR(opt.alpha, 0.16, 0.03);
+}
+
+TEST(AdvancedModel, GoldenTransferLevel) {
+    const auto opt = paper_example().optimize();
+    // Paper: y ≈ 10 (their Fig. 4 shows the transfer at level 10).
+    EXPECT_NEAR(opt.y, 10.0, 1.0);
+}
+
+TEST(AdvancedModel, GoldenGpuShare) {
+    const auto opt = paper_example().optimize();
+    // Paper: the GPU does ≈ 52 % of the total work at the optimum.
+    EXPECT_NEAR(opt.gpu_work_share, 0.52, 0.02);
+}
+
+TEST(AdvancedModel, GoldenPredictedSpeedup) {
+    // Paper §6.4: estimated speedup 5.47× for HPU1 at n = 2²⁴.
+    sim::HpuParams hw = platforms::hpu1();
+    AdvancedModel m(hw, mergesort_recurrence(3.5), static_cast<double>(1ull << 24));
+    const auto opt = m.optimize();
+    EXPECT_NEAR(opt.speedup, 5.47, 0.35);
+}
+
+TEST(AdvancedModel, GoldenHpu2PredictedSpeedup) {
+    // Paper §6.4: estimated 5.7× for HPU2 at its best input size. We check
+    // the same order of magnitude at n = 2²⁴.
+    sim::HpuParams hw = platforms::hpu2();
+    AdvancedModel m(hw, mergesort_recurrence(3.5), static_cast<double>(1ull << 24));
+    const auto opt = m.optimize();
+    EXPECT_NEAR(opt.speedup, 5.7, 0.8);
+}
+
+TEST(AdvancedModel, SaturationCasesAtExample) {
+    // At α*, the GPU is saturated for part of its climb and unsaturated for
+    // the rest (paper: "both saturated and non-saturated during its
+    // execution for α = α*", since y < log2 g = 12 < L).
+    auto m = paper_example();
+    const auto opt = m.optimize();
+    const double sat_level = util::logb(4096.0 / (1.0 - opt.alpha), 2.0);
+    EXPECT_LT(opt.y, sat_level);
+    EXPECT_LT(sat_level, 24.0);
+}
+
+TEST(AdvancedModel, YMonotoneInAlpha) {
+    auto m = paper_example();
+    // More CPU share → longer parallel phase → the GPU climbs higher
+    // (smaller y). y(α) is non-increasing.
+    double prev = 1e30;
+    for (double a = 0.05; a <= 0.9; a += 0.05) {
+        const double y = m.y_of_alpha(a);
+        EXPECT_LE(y, prev + 1e-9) << "alpha " << a;
+        prev = y;
+    }
+}
+
+TEST(AdvancedModel, GpuTimeDecreasesInY) {
+    auto m = paper_example();
+    double prev = 1e300;
+    for (double y = 0.0; y <= 24.0; y += 1.0) {
+        const double t = m.gpu_time(0.2, y);
+        EXPECT_LT(t, prev) << "y " << y;
+        prev = t;
+    }
+}
+
+TEST(AdvancedModel, GpuTimeEqualsCpuTimeAtY) {
+    auto m = paper_example();
+    for (double a : {0.05, 0.16, 0.3, 0.6}) {
+        const double y = m.y_of_alpha(a);
+        if (y > 0.0 && y < 24.0) {
+            EXPECT_NEAR(m.gpu_time(a, y) / m.cpu_parallel_time(a), 1.0, 1e-6) << "alpha " << a;
+        }
+    }
+}
+
+TEST(AdvancedModel, CpuParallelTimeScalesWithAlpha) {
+    auto m = paper_example();
+    EXPECT_LT(m.cpu_parallel_time(0.1), m.cpu_parallel_time(0.4));
+}
+
+TEST(AdvancedModel, AlphaMinIsPOverLeaves) {
+    auto m = paper_example();
+    EXPECT_DOUBLE_EQ(m.alpha_min(), 4.0 / static_cast<double>(1ull << 24));
+}
+
+TEST(AdvancedModel, PredictionInvariants) {
+    auto m = paper_example();
+    for (double a : {0.1, 0.2, 0.5}) {
+        const auto pr = m.predict_at(a, m.y_of_alpha(a));
+        EXPECT_GT(pr.speedup, 0.0);
+        EXPECT_LE(pr.speedup, 4.0 + 4096.0 / 160.0 + 1e-9);  // p + γ·g
+        EXPECT_GE(pr.total_time, pr.cpu_parallel_time);
+        EXPECT_LE(pr.gpu_work_share, 1.0);
+    }
+}
+
+TEST(AdvancedModel, RejectsBadParameters) {
+    auto m = paper_example();
+    EXPECT_THROW(m.predict_at(0.0, 5.0), util::HpuError);
+    EXPECT_THROW(m.predict_at(1.0, 5.0), util::HpuError);
+    EXPECT_THROW(m.cpu_parallel_time(-0.1), util::HpuError);
+}
+
+TEST(AdvancedModel, TransfersLowerPredictedSpeedup) {
+    sim::HpuParams cheap = platforms::hpu1();
+    cheap.link.lambda = 0.0;
+    cheap.link.delta = 0.0;
+    sim::HpuParams costly = platforms::hpu1();
+    costly.link.lambda = 1e6;
+    costly.link.delta = 10.0;
+    const double n = 1 << 20;
+    const auto rec = mergesort_recurrence(1.0);
+    const auto a = AdvancedModel(cheap, rec, n).optimize();
+    const auto b = AdvancedModel(costly, rec, n).optimize();
+    EXPECT_GT(a.speedup, b.speedup);
+}
+
+// ---- Parameter estimation (§6.4, Figs. 5-6).
+
+TEST(Estimate, RecoversG) {
+    sim::DeviceParams dp;
+    dp.g = 256;
+    dp.gamma = 0.02;
+    sim::Device dev(dp);
+    const std::uint64_t ghat = estimate_g(dev, 1 << 16, 4096);
+    // The knee sits at the true lane count (within the sweep's resolution).
+    EXPECT_GE(ghat, 224u);
+    EXPECT_LE(ghat, 288u);
+}
+
+TEST(Estimate, SaturationSweepMonotoneThenFlat) {
+    sim::DeviceParams dp;
+    dp.g = 64;
+    dp.gamma = 0.1;
+    sim::Device dev(dp);
+    std::vector<std::uint64_t> counts;
+    for (std::uint64_t t = 1; t <= 512; t *= 2) counts.push_back(t);
+    const auto sweep = saturation_sweep(dev, 1 << 14, counts);
+    // Strictly improving until g, then no improvement.
+    for (std::size_t i = 1; i < sweep.size(); ++i) {
+        if (sweep[i].threads <= 64) {
+            EXPECT_LT(sweep[i].time, sweep[i - 1].time);
+        } else {
+            EXPECT_GE(sweep[i].time, sweep[i - 1].time * 0.99);
+        }
+    }
+}
+
+TEST(Estimate, RecoversGammaInv) {
+    sim::DeviceParams dp;
+    dp.g = 128;
+    dp.gamma = 1.0 / 60.0;
+    sim::Device dev(dp);
+    sim::CpuUnit cpu(sim::CpuParams{.p = 4});
+    const auto sweep = gamma_sweep(dev, cpu, {1 << 10, 1 << 12, 1 << 14});
+    const double ginv = estimate_gamma_inv(sweep);
+    EXPECT_NEAR(ginv, 60.0, 1.0);
+    // Fig. 6: the ratio is roughly constant across sizes.
+    for (const auto& s : sweep) EXPECT_NEAR(s.ratio, 60.0, 2.0);
+}
+
+}  // namespace
+}  // namespace hpu::model

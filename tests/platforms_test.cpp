@@ -1,0 +1,46 @@
+#include <gtest/gtest.h>
+
+#include "platforms/platforms.hpp"
+
+namespace hpu::platforms {
+namespace {
+
+TEST(Platforms, Hpu1MatchesTable2) {
+    const auto h = hpu1();
+    EXPECT_EQ(h.cpu.p, 4u);
+    EXPECT_EQ(h.gpu.g, 4096u);
+    EXPECT_NEAR(1.0 / h.gpu.gamma, 160.0, 1e-9);
+    EXPECT_EQ(h.cpu.llc_bytes, 8ull << 20);
+    EXPECT_NO_THROW(h.validate());
+}
+
+TEST(Platforms, Hpu2MatchesTable2) {
+    const auto h = hpu2();
+    EXPECT_EQ(h.cpu.p, 4u);
+    EXPECT_EQ(h.gpu.g, 1200u);
+    EXPECT_NEAR(1.0 / h.gpu.gamma, 65.0, 1e-9);
+    EXPECT_EQ(h.cpu.llc_bytes, 4ull << 20);
+}
+
+TEST(Platforms, GammaGExceedsP) {
+    // The paper's standing assumption γ·g > p must hold for both platforms.
+    for (const auto& s : all()) {
+        EXPECT_GT(s.params.gpu_power(), static_cast<double>(s.params.cpu.p)) << s.name;
+    }
+}
+
+TEST(Platforms, LookupByName) {
+    EXPECT_EQ(by_name("HPU1").params.gpu.g, 4096u);
+    EXPECT_EQ(by_name("HPU2").params.gpu.g, 1200u);
+    EXPECT_THROW(by_name("HPU3"), util::HpuError);
+}
+
+TEST(Platforms, ContentionOffByDefault) {
+    // Benches opt into the LLC model explicitly; the registry ships the
+    // pure §5 parameters.
+    EXPECT_DOUBLE_EQ(hpu1().cpu.contention, 0.0);
+    EXPECT_DOUBLE_EQ(hpu2().cpu.contention, 0.0);
+}
+
+}  // namespace
+}  // namespace hpu::platforms

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/makespan.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hpu::util {
+namespace {
+
+TEST(Check, ThrowsWithMessage) {
+    try {
+        HPU_CHECK(1 == 2, "one is not two");
+        FAIL() << "expected HpuError";
+    } catch (const HpuError& e) {
+        EXPECT_NE(std::string(e.what()).find("one is not two"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+    }
+}
+
+TEST(Check, PassesSilently) { EXPECT_NO_THROW(HPU_CHECK(2 + 2 == 4, "")); }
+
+TEST(Math, IsPow2) {
+    EXPECT_FALSE(is_pow2(0));
+    EXPECT_TRUE(is_pow2(1));
+    EXPECT_TRUE(is_pow2(2));
+    EXPECT_FALSE(is_pow2(3));
+    EXPECT_TRUE(is_pow2(1ull << 40));
+    EXPECT_FALSE(is_pow2((1ull << 40) + 1));
+}
+
+TEST(Math, Ilog2) {
+    EXPECT_EQ(ilog2(1), 0u);
+    EXPECT_EQ(ilog2(2), 1u);
+    EXPECT_EQ(ilog2(3), 1u);
+    EXPECT_EQ(ilog2(4), 2u);
+    EXPECT_EQ(ilog2(1ull << 33), 33u);
+}
+
+TEST(Math, CeilLog2) {
+    EXPECT_EQ(ceil_log2(1), 0u);
+    EXPECT_EQ(ceil_log2(2), 1u);
+    EXPECT_EQ(ceil_log2(3), 2u);
+    EXPECT_EQ(ceil_log2(5), 3u);
+}
+
+TEST(Math, CeilDiv) {
+    EXPECT_EQ(ceil_div(0, 4), 0u);
+    EXPECT_EQ(ceil_div(1, 4), 1u);
+    EXPECT_EQ(ceil_div(4, 4), 1u);
+    EXPECT_EQ(ceil_div(5, 4), 2u);
+}
+
+TEST(Math, Ipow) {
+    EXPECT_EQ(ipow(2, 0), 1u);
+    EXPECT_EQ(ipow(2, 10), 1024u);
+    EXPECT_EQ(ipow(8, 3), 512u);
+}
+
+TEST(Math, LogbAndRound) {
+    EXPECT_DOUBLE_EQ(logb(1024.0, 2.0), 10.0);
+    EXPECT_NEAR(logb(8.0, 4.0), 1.5, 1e-12);
+    EXPECT_THROW(logb(-1.0, 2.0), HpuError);
+    EXPECT_EQ(iround(2.5), 3);
+    EXPECT_EQ(iround(-2.5), -3);
+    EXPECT_EQ(iround(2.4), 2);
+}
+
+TEST(Makespan, UniformMatchesClosedForm) {
+    EXPECT_EQ(uniform_makespan(10, 5, 4), 15u);  // ceil(10/4)=3 rounds of 5
+    EXPECT_EQ(uniform_makespan(4, 7, 4), 7u);
+    EXPECT_EQ(uniform_makespan(1, 9, 8), 9u);
+}
+
+TEST(Makespan, UniformCostsViaGeneralPath) {
+    std::vector<std::uint64_t> costs(10, 5);
+    EXPECT_EQ(makespan(costs, 4), 15u);
+}
+
+TEST(Makespan, GreedyVsLpt) {
+    // Arrival order {9, 1, 1, 1, 8} on 2 cores: greedy → core0: 9+1=10? no:
+    // greedy: 9→c0, 1→c1, 1→c1, 1→c1, 8→c1 → loads {9, 11} → 11.
+    // LPT: 9,8,1,1,1 → {9+1, 8+1+1} = {10, 10} → 10.
+    std::vector<std::uint64_t> costs = {9, 1, 1, 1, 8};
+    EXPECT_EQ(makespan(costs, 2, ListOrder::kArrival), 11u);
+    EXPECT_EQ(makespan(costs, 2, ListOrder::kLpt), 10u);
+}
+
+TEST(Makespan, LowerBoundIsRespected) {
+    Rng rng(7);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<std::uint64_t> costs;
+        std::uint64_t total = 0, cmax = 0;
+        for (int i = 0; i < 30; ++i) {
+            const auto c = static_cast<std::uint64_t>(rng.uniform_int(1, 100));
+            costs.push_back(c);
+            total += c;
+            cmax = std::max(cmax, c);
+        }
+        for (std::size_t p : {1u, 2u, 3u, 7u}) {
+            const std::uint64_t ms = makespan(costs, p);
+            EXPECT_GE(ms, cmax);
+            EXPECT_GE(ms * p, total);                   // can't beat perfect balance
+            EXPECT_LE(ms, total);                       // no worse than serial
+            if (p == 1) {
+                EXPECT_EQ(ms, total);
+            }
+        }
+    }
+}
+
+TEST(Makespan, AssignmentConsistentWithMakespan) {
+    std::vector<std::uint64_t> costs = {5, 3, 8, 2, 7, 1};
+    const auto assign = list_assignment(costs, 3);
+    ASSERT_EQ(assign.size(), costs.size());
+    std::vector<std::uint64_t> loads(3, 0);
+    for (std::size_t i = 0; i < costs.size(); ++i) {
+        ASSERT_LT(assign[i], 3u);
+        loads[assign[i]] += costs[i];
+    }
+    EXPECT_EQ(*std::max_element(loads.begin(), loads.end()), makespan(costs, 3));
+}
+
+TEST(Makespan, EmptyAndErrors) {
+    std::vector<std::uint64_t> none;
+    EXPECT_EQ(makespan(none, 4), 0u);
+    EXPECT_THROW(makespan(none, 0), HpuError);
+}
+
+TEST(ThreadPool, InlineModeRunsEverything) {
+    ThreadPool pool(0);
+    std::vector<int> hit(100, 0);
+    pool.parallel_for(100, [&](std::size_t i) { hit[i] = 1; });
+    EXPECT_EQ(std::count(hit.begin(), hit.end(), 1), 100);
+}
+
+TEST(ThreadPool, WorkersRunEverythingOnce) {
+    ThreadPool pool(3);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesTaskException) {
+    ThreadPool pool(2);
+    EXPECT_THROW(pool.parallel_for(10,
+                                   [](std::size_t i) {
+                                       if (i == 5) throw std::runtime_error("boom");
+                                   }),
+                 std::runtime_error);
+    // Pool must remain usable afterwards.
+    std::atomic<int> n{0};
+    pool.parallel_for(4, [&](std::size_t) { n.fetch_add(1); });
+    EXPECT_EQ(n.load(), 4);
+}
+
+TEST(ThreadPool, ZeroCountIsNoop) {
+    ThreadPool pool(2);
+    pool.parallel_for(0, [](std::size_t) { FAIL() << "should not run"; });
+}
+
+TEST(Table, AlignsAndPrints) {
+    Table t({"name", "value"});
+    t.add_row({std::string("alpha"), std::int64_t{42}});
+    t.add_row({std::string("beta"), 3.14159});
+    std::ostringstream os;
+    t.print(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("42"), std::string::npos);
+    EXPECT_NE(s.find("3.1416"), std::string::npos);  // default precision 4
+}
+
+TEST(Table, CsvOutput) {
+    Table t({"a", "b"});
+    t.add_row({std::int64_t{1}, std::int64_t{2}});
+    std::ostringstream os;
+    t.print_csv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RejectsRaggedRows) {
+    Table t({"a", "b"});
+    EXPECT_THROW(t.add_row({std::int64_t{1}}), HpuError);
+}
+
+TEST(Cli, ParsesFlagsAndPositional) {
+    const char* argv[] = {"prog", "--n=1024", "--alpha=0.25", "--verbose", "input.txt"};
+    Cli cli(5, argv);
+    EXPECT_EQ(cli.get_int("n", 0), 1024);
+    EXPECT_DOUBLE_EQ(cli.get_double("alpha", 0.0), 0.25);
+    EXPECT_TRUE(cli.get_bool("verbose", false));
+    EXPECT_FALSE(cli.get_bool("quiet", false));
+    ASSERT_EQ(cli.positional().size(), 1u);
+    EXPECT_EQ(cli.positional()[0], "input.txt");
+    EXPECT_EQ(cli.get_int("missing", -7), -7);
+}
+
+TEST(Rng, Deterministic) {
+    Rng a(123), b(123);
+    EXPECT_EQ(a.int_vector(32, 0, 100), b.int_vector(32, 0, 100));
+}
+
+TEST(Rng, RespectsBounds) {
+    Rng rng(5);
+    for (auto v : rng.int_vector(1000, 10, 20)) {
+        EXPECT_GE(v, 10);
+        EXPECT_LE(v, 20);
+    }
+}
+
+}  // namespace
+}  // namespace hpu::util
