@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_blocked.dir/ablation_blocked.cpp.o"
+  "CMakeFiles/ablation_blocked.dir/ablation_blocked.cpp.o.d"
+  "ablation_blocked"
+  "ablation_blocked.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_blocked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

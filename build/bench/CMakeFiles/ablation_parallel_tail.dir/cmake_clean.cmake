@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_parallel_tail.dir/ablation_parallel_tail.cpp.o"
+  "CMakeFiles/ablation_parallel_tail.dir/ablation_parallel_tail.cpp.o.d"
+  "ablation_parallel_tail"
+  "ablation_parallel_tail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_parallel_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

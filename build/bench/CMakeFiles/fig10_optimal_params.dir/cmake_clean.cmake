@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_optimal_params.dir/fig10_optimal_params.cpp.o"
+  "CMakeFiles/fig10_optimal_params.dir/fig10_optimal_params.cpp.o.d"
+  "fig10_optimal_params"
+  "fig10_optimal_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_optimal_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

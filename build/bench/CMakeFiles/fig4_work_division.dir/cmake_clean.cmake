@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_work_division.dir/fig4_work_division.cpp.o"
+  "CMakeFiles/fig4_work_division.dir/fig4_work_division.cpp.o.d"
+  "fig4_work_division"
+  "fig4_work_division.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_work_division.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_gpu_saturation.dir/fig5_gpu_saturation.cpp.o"
+  "CMakeFiles/fig5_gpu_saturation.dir/fig5_gpu_saturation.cpp.o.d"
+  "fig5_gpu_saturation"
+  "fig5_gpu_saturation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_gpu_saturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_gamma_ratio.dir/fig6_gamma_ratio.cpp.o"
+  "CMakeFiles/fig6_gamma_ratio.dir/fig6_gamma_ratio.cpp.o.d"
+  "fig6_gamma_ratio"
+  "fig6_gamma_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_gamma_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_speedup_vs_alpha.dir/fig7_speedup_vs_alpha.cpp.o"
+  "CMakeFiles/fig7_speedup_vs_alpha.dir/fig7_speedup_vs_alpha.cpp.o.d"
+  "fig7_speedup_vs_alpha"
+  "fig7_speedup_vs_alpha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_speedup_vs_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

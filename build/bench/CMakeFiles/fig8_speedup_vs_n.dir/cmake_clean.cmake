@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_speedup_vs_n.dir/fig8_speedup_vs_n.cpp.o"
+  "CMakeFiles/fig8_speedup_vs_n.dir/fig8_speedup_vs_n.cpp.o.d"
+  "fig8_speedup_vs_n"
+  "fig8_speedup_vs_n.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_speedup_vs_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_parallel_gpu.dir/fig9_parallel_gpu.cpp.o"
+  "CMakeFiles/fig9_parallel_gpu.dir/fig9_parallel_gpu.cpp.o.d"
+  "fig9_parallel_gpu"
+  "fig9_parallel_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_parallel_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

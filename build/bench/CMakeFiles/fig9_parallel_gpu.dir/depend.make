@@ -1,0 +1,2 @@
+# Empty dependencies file for fig9_parallel_gpu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generic_dc.dir/generic_dc.cpp.o"
+  "CMakeFiles/generic_dc.dir/generic_dc.cpp.o.d"
+  "generic_dc"
+  "generic_dc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generic_dc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

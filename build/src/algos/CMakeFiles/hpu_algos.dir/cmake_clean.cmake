@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpu_algos.dir/fft.cpp.o"
+  "CMakeFiles/hpu_algos.dir/fft.cpp.o.d"
+  "CMakeFiles/hpu_algos.dir/parallel_merge.cpp.o"
+  "CMakeFiles/hpu_algos.dir/parallel_merge.cpp.o.d"
+  "CMakeFiles/hpu_algos.dir/parallel_tail.cpp.o"
+  "CMakeFiles/hpu_algos.dir/parallel_tail.cpp.o.d"
+  "libhpu_algos.a"
+  "libhpu_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpu_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhpu_algos.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/advanced.cpp" "src/model/CMakeFiles/hpu_model.dir/advanced.cpp.o" "gcc" "src/model/CMakeFiles/hpu_model.dir/advanced.cpp.o.d"
+  "/root/repo/src/model/basic.cpp" "src/model/CMakeFiles/hpu_model.dir/basic.cpp.o" "gcc" "src/model/CMakeFiles/hpu_model.dir/basic.cpp.o.d"
+  "/root/repo/src/model/estimate.cpp" "src/model/CMakeFiles/hpu_model.dir/estimate.cpp.o" "gcc" "src/model/CMakeFiles/hpu_model.dir/estimate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hpu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hpu_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

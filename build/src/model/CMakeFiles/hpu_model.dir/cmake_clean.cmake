@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpu_model.dir/advanced.cpp.o"
+  "CMakeFiles/hpu_model.dir/advanced.cpp.o.d"
+  "CMakeFiles/hpu_model.dir/basic.cpp.o"
+  "CMakeFiles/hpu_model.dir/basic.cpp.o.d"
+  "CMakeFiles/hpu_model.dir/estimate.cpp.o"
+  "CMakeFiles/hpu_model.dir/estimate.cpp.o.d"
+  "libhpu_model.a"
+  "libhpu_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpu_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

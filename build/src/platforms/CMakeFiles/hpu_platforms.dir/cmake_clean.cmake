@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpu_platforms.dir/platforms.cpp.o"
+  "CMakeFiles/hpu_platforms.dir/platforms.cpp.o.d"
+  "libhpu_platforms.a"
+  "libhpu_platforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpu_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

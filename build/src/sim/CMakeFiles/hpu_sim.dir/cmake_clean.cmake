@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpu_sim.dir/memory_model.cpp.o"
+  "CMakeFiles/hpu_sim.dir/memory_model.cpp.o.d"
+  "CMakeFiles/hpu_sim.dir/timeline.cpp.o"
+  "CMakeFiles/hpu_sim.dir/timeline.cpp.o.d"
+  "libhpu_sim.a"
+  "libhpu_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpu_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

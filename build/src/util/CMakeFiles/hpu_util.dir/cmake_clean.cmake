@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpu_util.dir/cli.cpp.o"
+  "CMakeFiles/hpu_util.dir/cli.cpp.o.d"
+  "CMakeFiles/hpu_util.dir/makespan.cpp.o"
+  "CMakeFiles/hpu_util.dir/makespan.cpp.o.d"
+  "CMakeFiles/hpu_util.dir/table.cpp.o"
+  "CMakeFiles/hpu_util.dir/table.cpp.o.d"
+  "CMakeFiles/hpu_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/hpu_util.dir/thread_pool.cpp.o.d"
+  "libhpu_util.a"
+  "libhpu_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpu_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

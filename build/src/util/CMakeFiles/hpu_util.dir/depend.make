@@ -1,0 +1,2 @@
+# Empty dependencies file for hpu_util.
+# This may be replaced when dependencies are built.

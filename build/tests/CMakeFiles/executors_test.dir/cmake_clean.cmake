@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/executors_test.dir/executors_test.cpp.o"
+  "CMakeFiles/executors_test.dir/executors_test.cpp.o.d"
+  "executors_test"
+  "executors_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/executors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platforms_test.dir/platforms_test.cpp.o"
+  "CMakeFiles/platforms_test.dir/platforms_test.cpp.o.d"
+  "platforms_test"
+  "platforms_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platforms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
