@@ -39,6 +39,9 @@ public:
         // Adjacent items touch slices sz apart: strided for sz > the
         // transaction width, which is the common case.
         ops.charge_mem(3, sim::Pattern::kStrided);
+        ops.log_read(j * sz, 1);
+        ops.log_read(j * sz + sz / 2, 1);
+        ops.log_write(j * sz, 1);
     }
 
     double device_ops_multiplier(const sim::DeviceParams& dev) const override {

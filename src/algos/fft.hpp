@@ -73,6 +73,8 @@ public:
         // outputs) and 2 complex words in/out per element.
         ops.charge_compute(5 * sz / 2);
         ops.charge_mem(2 * sz + sz / 2, sim::Pattern::kStrided);
+        ops.log_read(j * sz, sz);
+        ops.log_write(j * sz, sz);
     }
 
     sim::Pattern device_pattern() const override { return sim::Pattern::kCoalesced; }
@@ -87,6 +89,7 @@ public:
         // charge the Stockham access pattern.
         const std::uint64_t sz = data.size() / count;
         sim::OpCounter local;
+        local.trace = ops.trace;  // forward the access log through the re-pricing
         run_task(data, count, j, local);
         ops.charge_compute(local.compute);
         ops.charge_mem(2 * sz + sz / 2, sim::Pattern::kCoalesced);

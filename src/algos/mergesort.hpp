@@ -71,6 +71,11 @@ protected:
         // Tail of the right run is already in place.
         ops.charge_compute(sz);
         ops.charge_mem(sz / 2 + 2 * sz, pattern);
+        // Declared footprint for the race detector: the task reads and
+        // rewrites exactly its own slice (the staging area is per-slice
+        // private scratch, invisible to other items).
+        ops.log_read(lo, sz);
+        ops.log_write(lo, sz);
     }
 
     mutable std::vector<T> scratch_;
@@ -127,6 +132,14 @@ public:
         // 1 compare + 2 coalesced words per output element.
         ops.charge_compute(2 * m);
         ops.charge_mem(4 * m, sim::Pattern::kCoalesced);
+        // Declared footprint: interleaved columns ra, rb of src, column j
+        // of dst. The ping-pong scratch lives in a disjoint address region
+        // so data-vs-scratch accesses can never alias.
+        const std::uint64_t src_base = cur_is_scratch_ ? kScratchBase : 0;
+        const std::uint64_t dst_base = cur_is_scratch_ ? 0 : kScratchBase;
+        ops.log_read(src_base + ra, m, in_runs);
+        ops.log_read(src_base + rb, m, in_runs);
+        ops.log_write(dst_base + j, 2 * m, count);
     }
 
     void after_gpu_level(std::span<T> /*device_data*/, std::uint64_t count,
@@ -171,6 +184,10 @@ public:
     }
 
 private:
+    /// Virtual base address of dscratch_ in the trace address space —
+    /// far above any real element index, so the two buffers never collide.
+    static constexpr std::uint64_t kScratchBase = 1ull << 40;
+
     mutable std::vector<T> dscratch_;
     mutable bool cur_is_scratch_ = false;
     mutable std::uint64_t runs_ = 0;

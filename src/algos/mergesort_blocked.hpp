@@ -50,6 +50,8 @@ public:
         // Data-dependent charge: compares+shifts plus the scan itself.
         ops.charge_compute(moves + sz);
         ops.charge_mem(sz, sim::Pattern::kStrided);
+        ops.log_read(j * sz, sz);
+        ops.log_write(j * sz, sz);
     }
 
 private:

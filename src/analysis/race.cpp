@@ -1,0 +1,113 @@
+#include "analysis/race.hpp"
+
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+namespace hpu::analysis {
+
+namespace {
+
+std::uint64_t total_words(std::span<const sim::ItemAccessLog> items) {
+    std::uint64_t w = 0;
+    for (const auto& it : items) {
+        for (const auto& a : it.reads) w += a.words;
+        for (const auto& a : it.writes) w += a.words;
+    }
+    return w;
+}
+
+/// Shared state of one launch's check: who wrote each word, plus dedup and
+/// suppression bookkeeping.
+struct LaunchCheck {
+    std::unordered_map<std::uint64_t, std::uint32_t> writer;  ///< word -> item
+    std::unordered_set<std::uint64_t> reported_pairs;         ///< dedup key
+    std::uint64_t wave_width;
+    std::string_view label;
+    AnalysisReport& report;
+    const RaceOptions& opts;
+    std::uint64_t emitted = 0;
+
+    static std::uint64_t pair_key(FindingKind kind, std::uint64_t a, std::uint64_t b) {
+        if (a > b) std::swap(a, b);
+        return (static_cast<std::uint64_t>(kind) << 60) ^ (a << 30) ^ b;
+    }
+
+    void emit(FindingKind kind, std::uint64_t item_a, std::uint64_t item_b,
+              std::uint64_t addr) {
+        // One finding per (kind, item pair) per launch: a racy kernel
+        // typically conflicts on a whole range and a flood of identical
+        // findings would bury the diagnosis.
+        if (!reported_pairs.insert(pair_key(kind, item_a, item_b)).second) return;
+        if (emitted >= opts.max_findings) {
+            ++report.findings_suppressed;
+            return;
+        }
+        ++emitted;
+        Finding f;
+        f.kind = kind;
+        f.severity = Severity::kError;
+        f.launch = std::string(label);
+        f.item_a = item_a;
+        f.item_b = item_b;
+        f.wave_a = wave_width > 0 ? item_a / wave_width : 0;
+        f.wave_b = wave_width > 0 ? item_b / wave_width : 0;
+        f.address = addr;
+        std::ostringstream os;
+        os << (kind == FindingKind::kWriteWriteRace ? "items " : "writer item ") << item_a
+           << " (wave " << f.wave_a << ") and "
+           << (kind == FindingKind::kWriteWriteRace ? "" : "reader item ") << item_b
+           << " (wave " << f.wave_b << ") both touch word " << addr
+           << (kind == FindingKind::kWriteWriteRace
+                   ? " with writes — work-items of one launch must have disjoint write sets"
+                   : " — a work-item must not read words another item writes in the same "
+                     "launch");
+        f.detail = os.str();
+        report.add(std::move(f));
+    }
+};
+
+}  // namespace
+
+void detect_races(std::span<const sim::ItemAccessLog> items, std::uint64_t wave_width,
+                  std::string_view launch_label, AnalysisReport& report,
+                  const RaceOptions& opts) {
+    if (total_words(items) > opts.max_words) {
+        ++report.launches_skipped;
+        return;
+    }
+    ++report.launches_checked;
+    LaunchCheck chk{{}, {}, wave_width, launch_label, report, opts, 0};
+    chk.writer.reserve(256);
+
+    // Pass 1: writes. The first writer of a word owns it; any later writer
+    // from a different item is a write-write race.
+    for (std::uint32_t j = 0; j < items.size(); ++j) {
+        for (const auto& acc : items[j].writes) {
+            std::uint64_t addr = acc.begin;
+            for (std::uint64_t k = 0; k < acc.words; ++k, addr += acc.stride) {
+                auto [it, inserted] = chk.writer.emplace(addr, j);
+                if (!inserted && it->second != j) {
+                    chk.emit(FindingKind::kWriteWriteRace, it->second, j, addr);
+                }
+            }
+        }
+    }
+    // Pass 2: reads against the write map. Order within the launch is
+    // irrelevant: a read of a word some other item writes races whichever
+    // way the wave scheduler interleaves them.
+    for (std::uint32_t j = 0; j < items.size(); ++j) {
+        for (const auto& acc : items[j].reads) {
+            std::uint64_t addr = acc.begin;
+            for (std::uint64_t k = 0; k < acc.words; ++k, addr += acc.stride) {
+                auto it = chk.writer.find(addr);
+                if (it != chk.writer.end() && it->second != j) {
+                    chk.emit(FindingKind::kReadWriteRace, it->second, j, addr);
+                }
+            }
+        }
+    }
+}
+
+}  // namespace hpu::analysis

@@ -1,0 +1,78 @@
+#include "analysis/residency.hpp"
+
+#include <sstream>
+
+namespace hpu::analysis {
+
+namespace {
+
+Finding make(FindingKind kind, Severity sev, std::string_view label, std::size_t event_index,
+             std::string_view what) {
+    Finding f;
+    f.kind = kind;
+    f.severity = sev;
+    f.launch = std::string(label);
+    std::ostringstream os;
+    os << "event #" << event_index << ": " << what;
+    f.detail = os.str();
+    return f;
+}
+
+bool full_range(const sim::BufferEvent& e) { return e.offset == 0 && e.count == e.size; }
+
+}  // namespace
+
+void lint_residency(std::span<const sim::BufferEvent> log, std::string_view buffer_label,
+                    AnalysisReport& report) {
+    for (std::size_t i = 0; i < log.size(); ++i) {
+        const sim::BufferEvent& e = log[i];
+        switch (e.op) {
+            case sim::BufferOp::kHostRead:
+                if (!e.host_valid_before) {
+                    report.add(make(FindingKind::kStaleHostRead, Severity::kError,
+                                    buffer_label, i,
+                                    "host_view() read while the device copy is newer — "
+                                    "copy_to_host() first"));
+                }
+                break;
+            case sim::BufferOp::kHostMut:
+                if (!e.host_valid_before) {
+                    report.add(make(FindingKind::kStaleHostWrite, Severity::kWarning,
+                                    buffer_label, i,
+                                    "host() write over a stale host copy — device-side "
+                                    "results will be lost unless copy_to_host() runs first"));
+                }
+                if (e.device_valid_before) {
+                    report.add(make(FindingKind::kHostWriteWhileDeviceLive, Severity::kWarning,
+                                    buffer_label, i,
+                                    "host() acquired while a device copy is live — this "
+                                    "invalidates the device copy; use host_view() for "
+                                    "read-only access"));
+                }
+                break;
+            case sim::BufferOp::kCopyToDevice:
+                if (e.device_valid_before && full_range(e)) {
+                    report.add(make(FindingKind::kRedundantTransfer, Severity::kWarning,
+                                    buffer_label, i,
+                                    "full copy_to_device() but the device copy is already "
+                                    "valid — the transfer moves words the device has"));
+                }
+                break;
+            case sim::BufferOp::kCopyToHost:
+                if (e.host_valid_before && full_range(e)) {
+                    report.add(make(FindingKind::kRedundantTransfer, Severity::kWarning,
+                                    buffer_label, i,
+                                    "full copy_to_host() but the host copy is already "
+                                    "valid — the transfer moves words the host has"));
+                }
+                break;
+            case sim::BufferOp::kDeviceMut:
+            case sim::BufferOp::kDeviceRead:
+                // Invalid device access throws in DeviceBuffer itself; the
+                // events only matter as context for the host-side rules.
+                break;
+        }
+    }
+}
+
+}  // namespace hpu::analysis

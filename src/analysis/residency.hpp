@@ -1,0 +1,27 @@
+// Buffer-residency lint. Replays a DeviceBuffer's event log (recorded via
+// DeviceBuffer::set_trace) and flags the residency anti-patterns the
+// simulated memory model makes observable:
+//
+//   * stale-host-read (error): host_view()/host() while the device holds
+//     newer data — the reader sees pre-kernel contents;
+//   * redundant-transfer (warning): a full copy to a side that is already
+//     valid moves words the destination already has;
+//   * host-write-while-device-live (warning): host() acquired while a
+//     device copy is valid — it invalidates the device copy, which is
+//     wasteful when the caller only wanted to read (use host_view()).
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "analysis/report.hpp"
+#include "sim/buffer.hpp"
+
+namespace hpu::analysis {
+
+/// Lints one buffer's log. `buffer_label` names the buffer in diagnostics
+/// (executors use "<algo>/device-buffer"). Findings append to `report`.
+void lint_residency(std::span<const sim::BufferEvent> log, std::string_view buffer_label,
+                    AnalysisReport& report);
+
+}  // namespace hpu::analysis

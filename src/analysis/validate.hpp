@@ -1,0 +1,26 @@
+// Opt-in gate for the runtime correctness passes. Validation is off by
+// default (it re-executes every launch and concretizes access traces);
+// it is enabled per run via ExecOptions::validate or process-wide with the
+// HPU_VALIDATE environment variable, which seeds ExecOptions' default.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+namespace hpu::analysis {
+
+/// True when `name` is set to anything but "", "0", "off", "false", "no".
+inline bool env_flag_enabled(const char* name) {
+    const char* raw = std::getenv(name);
+    if (raw == nullptr) return false;
+    std::string v(raw);
+    for (char& c : v) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return !(v.empty() || v == "0" || v == "off" || v == "false" || v == "no");
+}
+
+/// Default for ExecOptions::validate. Read on every call (not cached) so
+/// tests and embedding applications can toggle HPU_VALIDATE at runtime.
+inline bool env_validate_default() { return env_flag_enabled("HPU_VALIDATE"); }
+
+}  // namespace hpu::analysis

@@ -7,12 +7,25 @@
 // index i (0 = root, L-1 = deepest internal level, L = log_b n), running
 // the a^i independent tasks of each level on the chosen unit. They require
 // a == b so that level tasks tile the array contiguously.
+//
+// With ExecOptions::validate on (or HPU_VALIDATE set), every functional
+// level additionally runs the hpu::analysis correctness passes — wave race
+// detection, schedule-independence re-execution, buffer-residency lint —
+// and the findings are attached to ExecReport::analysis.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <sstream>
+#include <string>
+#include <vector>
 
+#include "analysis/race.hpp"
+#include "analysis/report.hpp"
+#include "analysis/residency.hpp"
+#include "analysis/schedule.hpp"
+#include "analysis/validate.hpp"
 #include "core/level_algorithm.hpp"
 #include "sim/buffer.hpp"
 #include "sim/hpu.hpp"
@@ -31,6 +44,12 @@ struct ExecOptions {
     bool functional = true;
     /// CPU list-scheduling order (ablation knob).
     util::ListOrder order = util::ListOrder::kArrival;
+    /// Run the hpu::analysis correctness passes on every functional level
+    /// (race detection, schedule-independence re-execution, residency
+    /// lint). Costly — re-executes kernels — so off unless requested here
+    /// or via the HPU_VALIDATE environment variable. No effect on the
+    /// virtual clock. Ignored in analytic mode (nothing executes).
+    bool validate = analysis::env_validate_default();
 };
 
 /// Where time went; every executor fills one of these.
@@ -43,6 +62,9 @@ struct ExecReport {
     std::uint64_t levels_cpu = 0;
     std::uint64_t levels_gpu = 0;
     double alpha_effective = 0.0;    ///< realized CPU work ratio (advanced hybrid)
+    /// Findings of the correctness passes (empty unless ExecOptions::
+    /// validate was on).
+    analysis::AnalysisReport analysis;
 };
 
 namespace detail {
@@ -61,6 +83,15 @@ std::uint64_t level_count(const LevelAlgorithm<T>& alg, std::uint64_t n) {
     return L;  // internal levels 0 .. L-1; leaves below level L-1
 }
 
+/// Label of one validated launch, used as the owning-event name in
+/// analysis findings (matches the Timeline labels of the schedulers).
+inline std::string launch_label(const std::string& name, const char* phase,
+                                std::uint64_t tasks) {
+    std::ostringstream os;
+    os << name << '/' << phase << '[' << tasks << " tasks]";
+    return os.str();
+}
+
 /// CPU time of one level in analytic mode (uniform tasks).
 template <typename T>
 sim::Ticks analytic_cpu_level(const sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg,
@@ -71,24 +102,63 @@ sim::Ticks analytic_cpu_level(const sim::CpuUnit& cpu, const LevelAlgorithm<T>& 
 }
 
 /// Functional CPU execution of one level: run every task, measure, makespan.
+/// With `report` non-null, task access sets are recorded and race-checked.
 template <typename T>
 sim::Ticks functional_cpu_level(sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg,
                                 std::span<T> data, std::uint64_t tasks,
-                                const ExecOptions& opts) {
+                                const ExecOptions& opts,
+                                analysis::AnalysisReport* report = nullptr) {
+    if (report == nullptr) {
+        const auto r = cpu.run_level(
+            tasks,
+            [&](std::uint64_t j, sim::OpCounter& ops) { alg.run_task(data, tasks, j, ops); },
+            alg.level_working_set_bytes(data.size()), opts.order);
+        return r.time;
+    }
+    std::vector<sim::ItemAccessLog> logs(tasks);
     const auto r = cpu.run_level(
         tasks,
-        [&](std::uint64_t j, sim::OpCounter& ops) { alg.run_task(data, tasks, j, ops); },
+        [&](std::uint64_t j, sim::OpCounter& ops) {
+            ops.trace = &logs[j];
+            alg.run_task(data, tasks, j, ops);
+        },
         alg.level_working_set_bytes(data.size()), opts.order);
+    analysis::detect_races(logs, cpu.params().p, launch_label(alg.name(), "cpu-level", tasks),
+                           *report);
     return r.time;
 }
 
 /// Functional device execution of one level as a kernel of `tasks` items.
+/// With `report` non-null, the launch is race-checked AND re-executed in a
+/// permuted item order to catch order-dependent kernels the declared
+/// access sets miss.
 template <typename T>
 sim::Ticks functional_gpu_level(sim::Device& dev, const LevelAlgorithm<T>& alg,
-                                std::span<T> device_data, std::uint64_t tasks) {
+                                std::span<T> device_data, std::uint64_t tasks,
+                                analysis::AnalysisReport* report = nullptr) {
+    if (report == nullptr) {
+        const auto r = dev.launch(tasks, [&](sim::WorkItem& wi) {
+            alg.run_device_task(device_data, tasks, wi.global_id(), wi.ops());
+        });
+        return r.time;
+    }
+    std::vector<sim::ItemAccessLog> logs(tasks);
+    const std::vector<T> before(device_data.begin(), device_data.end());
     const auto r = dev.launch(tasks, [&](sim::WorkItem& wi) {
+        wi.ops().trace = &logs[wi.global_id()];
         alg.run_device_task(device_data, tasks, wi.global_id(), wi.ops());
     });
+    const std::string label = launch_label(alg.name(), "gpu-level", tasks);
+    analysis::detect_races(logs, dev.params().g, label, *report);
+    const std::vector<T> after(device_data.begin(), device_data.end());
+    auto finding = analysis::check_schedule_independence(
+        device_data, std::span<const T>(before), std::span<const T>(after), tasks,
+        [&](std::uint64_t j) {
+            sim::OpCounter throwaway;
+            alg.run_device_task(device_data, tasks, j, throwaway);
+        },
+        /*seed=*/tasks, label);
+    if (finding) report->add(std::move(*finding));
     return r.time;
 }
 
@@ -122,14 +192,24 @@ sim::Ticks host_pre_pass(const LevelAlgorithm<T>& alg, std::span<T> data, std::s
 /// work, analytic otherwise.
 template <typename T>
 sim::Ticks cpu_leaves(sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg, std::span<T> region,
-                      bool functional) {
+                      bool functional, analysis::AnalysisReport* report = nullptr) {
     const std::uint64_t count = region.size() / alg.base_size();
     if (count == 0) return 0.0;
     if (functional && alg.has_leaf_work()) {
-        return cpu.run_level(count, [&](std::uint64_t j, sim::OpCounter& ops) {
-                      alg.run_leaf(region, count, j, ops);
-                  })
-            .time;
+        if (report == nullptr) {
+            return cpu.run_level(count, [&](std::uint64_t j, sim::OpCounter& ops) {
+                          alg.run_leaf(region, count, j, ops);
+                      })
+                .time;
+        }
+        std::vector<sim::ItemAccessLog> logs(count);
+        const auto r = cpu.run_level(count, [&](std::uint64_t j, sim::OpCounter& ops) {
+            ops.trace = &logs[j];
+            alg.run_leaf(region, count, j, ops);
+        });
+        analysis::detect_races(logs, cpu.params().p,
+                               launch_label(alg.name(), "cpu-leaves", count), *report);
+        return r.time;
     }
     return cpu.uniform_level_time(count, alg.recurrence().leaf_cost);
 }
@@ -137,16 +217,33 @@ sim::Ticks cpu_leaves(sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg, std::span
 /// Leaf sweep on the device, one work-item per base block.
 template <typename T>
 sim::Ticks gpu_leaves(sim::Device& dev, const LevelAlgorithm<T>& alg, std::span<T> region,
-                      bool functional) {
+                      bool functional, analysis::AnalysisReport* report = nullptr) {
     const std::uint64_t count = region.size() / alg.base_size();
     if (count == 0) return 0.0;
     if (functional && alg.has_leaf_work()) {
-        return dev
-            .launch(count,
-                    [&](sim::WorkItem& wi) { alg.run_leaf(region, count, wi.global_id(), wi.ops()); })
-            .time;
+        if (report == nullptr) {
+            return dev
+                .launch(count,
+                        [&](sim::WorkItem& wi) {
+                            alg.run_leaf(region, count, wi.global_id(), wi.ops());
+                        })
+                .time;
+        }
+        std::vector<sim::ItemAccessLog> logs(count);
+        const auto r = dev.launch(count, [&](sim::WorkItem& wi) {
+            wi.ops().trace = &logs[wi.global_id()];
+            alg.run_leaf(region, count, wi.global_id(), wi.ops());
+        });
+        analysis::detect_races(logs, dev.params().g,
+                               launch_label(alg.name(), "gpu-leaves", count), *report);
+        return r.time;
     }
     return dev.uniform_launch_time(count, alg.recurrence().leaf_cost);
+}
+
+/// The analysis sink for a run: the report when validating, else null.
+inline analysis::AnalysisReport* analysis_sink(const ExecOptions& opts, ExecReport& rep) {
+    return (opts.validate && opts.functional) ? &rep.analysis : nullptr;
 }
 
 }  // namespace detail
@@ -164,13 +261,14 @@ ExecReport run_sequential(sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg, std::
     one_core.contention = 0.0;  // a single core does not compete with itself
     sim::CpuUnit single(one_core);
     ExecReport rep;
+    analysis::AnalysisReport* val = detail::analysis_sink(opts, rep);
     rep.cpu_busy += detail::host_pre_pass(alg, data, 1);
-    rep.cpu_busy += detail::cpu_leaves(single, alg, data, opts.functional);
+    rep.cpu_busy += detail::cpu_leaves(single, alg, data, opts.functional, val);
     // Internal levels, bottom-up.
     for (std::uint64_t i = L; i-- > 0;) {
         const std::uint64_t tasks = util::ipow(alg.a(), static_cast<std::uint32_t>(i));
         rep.cpu_busy += opts.functional
-                            ? detail::functional_cpu_level(single, alg, data, tasks, opts)
+                            ? detail::functional_cpu_level(single, alg, data, tasks, opts, val)
                             : detail::analytic_cpu_level(single, alg, data.size(), tasks, i);
         ++rep.levels_cpu;
     }
@@ -185,12 +283,13 @@ ExecReport run_multicore(sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg, std::s
     const std::uint64_t L = detail::level_count(alg, data.size());
     alg.prepare(data.size());
     ExecReport rep;
+    analysis::AnalysisReport* val = detail::analysis_sink(opts, rep);
     rep.cpu_busy += detail::host_pre_pass(alg, data, cpu.params().p);
-    rep.cpu_busy += detail::cpu_leaves(cpu, alg, data, opts.functional);
+    rep.cpu_busy += detail::cpu_leaves(cpu, alg, data, opts.functional, val);
     for (std::uint64_t i = L; i-- > 0;) {
         const std::uint64_t tasks = util::ipow(alg.a(), static_cast<std::uint32_t>(i));
         rep.cpu_busy += opts.functional
-                            ? detail::functional_cpu_level(cpu, alg, data, tasks, opts)
+                            ? detail::functional_cpu_level(cpu, alg, data, tasks, opts, val)
                             : detail::analytic_cpu_level(cpu, alg, data.size(), tasks, i);
         ++rep.levels_cpu;
     }
@@ -208,15 +307,18 @@ ExecReport run_gpu(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std::span<T> dat
     alg.prepare(data.size());
     sim::Device& dev = hpu.gpu();
     ExecReport rep;
+    analysis::AnalysisReport* val = detail::analysis_sink(opts, rep);
     rep.cpu_busy += detail::host_pre_pass(alg, data, hpu.params().cpu.p);
 
     // Functional runs materialize a real device buffer; the analytic path
     // lets the hooks operate on the host span (data is dummy there) and
     // skips the physical copies entirely.
     std::optional<sim::DeviceBuffer<T>> buf;
+    std::vector<sim::BufferEvent> buf_events;
     std::span<T> dspan = data;
     if (opts.functional) {
         buf.emplace(std::vector<T>(data.begin(), data.end()));
+        if (val != nullptr) buf->set_trace(&buf_events);
         buf->copy_to_device();
         dspan = buf->device();
     }
@@ -231,11 +333,11 @@ ExecReport run_gpu(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std::span<T> dat
         rep.gpu_busy += detail::hook_time(dev, alg.analytic_gpu_hook_ops(data.size()));
     }
 
-    rep.gpu_busy += detail::gpu_leaves(dev, alg, dspan, opts.functional);
+    rep.gpu_busy += detail::gpu_leaves(dev, alg, dspan, opts.functional, val);
     for (std::uint64_t i = L; i-- > 0;) {
         const std::uint64_t tasks = util::ipow(alg.a(), static_cast<std::uint32_t>(i));
         if (opts.functional) {
-            rep.gpu_busy += detail::functional_gpu_level(dev, alg, dspan, tasks);
+            rep.gpu_busy += detail::functional_gpu_level(dev, alg, dspan, tasks, val);
             sim::OpCounter flip;
             alg.after_gpu_level(dspan, tasks, flip);
             rep.gpu_busy += detail::hook_time(dev, flip);
@@ -255,6 +357,9 @@ ExecReport run_gpu(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std::span<T> dat
     if (opts.functional) {
         buf->copy_to_host();
         std::copy(buf->host_view().begin(), buf->host_view().end(), data.begin());
+        if (val != nullptr) {
+            analysis::lint_residency(buf_events, alg.name() + "/device-buffer", *val);
+        }
     }
     rep.total = rep.cpu_busy + rep.gpu_busy + rep.transfer;
     return rep;

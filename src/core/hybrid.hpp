@@ -63,7 +63,8 @@ TreeShape<T> shape_of(const LevelAlgorithm<T>& alg, std::uint64_t n) {
 template <typename T>
 sim::Ticks cpu_levels(sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg, std::span<T> region,
                       std::uint64_t n_total, std::uint64_t from_deep, std::uint64_t to_shallow,
-                      const ExecOptions& opts, std::uint64_t* levels_done = nullptr) {
+                      const ExecOptions& opts, std::uint64_t* levels_done = nullptr,
+                      analysis::AnalysisReport* report = nullptr) {
     sim::Ticks t = 0.0;
     for (std::uint64_t i = from_deep + 1; i-- > to_shallow;) {
         const std::uint64_t task_size =
@@ -71,7 +72,7 @@ sim::Ticks cpu_levels(sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg, std::span
         const std::uint64_t tasks = static_cast<std::uint64_t>(region.size()) / task_size;
         if (tasks == 0) continue;
         if (opts.functional) {
-            t += functional_cpu_level(cpu, alg, region, tasks, opts);
+            t += functional_cpu_level(cpu, alg, region, tasks, opts, report);
         } else {
             const auto rec = alg.recurrence();
             const double ops =
@@ -104,13 +105,16 @@ ExecReport run_basic_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std::sp
         shape.L, static_cast<std::uint64_t>(std::ceil(std::max(0.0, pred.crossover_level))));
 
     sim::Device& dev = hpu.gpu();
+    analysis::AnalysisReport* val = detail::analysis_sink(opts, rep);
     sim::Ticks clock = 0.0;
 
     // --- Device phase: leaves + levels L-1 .. gpu_top over the whole array.
     std::optional<sim::DeviceBuffer<T>> buf;
+    std::vector<sim::BufferEvent> buf_events;
     std::span<T> dspan = data;
     if (opts.functional) {
         buf.emplace(std::vector<T>(data.begin(), data.end()));
+        if (val != nullptr) buf->set_trace(&buf_events);
         buf->copy_to_device();
         dspan = buf->device();
     }
@@ -127,11 +131,11 @@ ExecReport run_basic_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std::sp
         rep.gpu_busy += detail::hook_time(dev, alg.analytic_gpu_hook_ops(data.size()));
     }
 
-    rep.gpu_busy += detail::gpu_leaves(dev, alg, dspan, opts.functional);
+    rep.gpu_busy += detail::gpu_leaves(dev, alg, dspan, opts.functional, val);
     for (std::uint64_t i = shape.L; i-- > gpu_top;) {
         const std::uint64_t tasks = shape.tasks_at(i);
         if (opts.functional) {
-            rep.gpu_busy += detail::functional_gpu_level(dev, alg, dspan, tasks);
+            rep.gpu_busy += detail::functional_gpu_level(dev, alg, dspan, tasks, val);
             sim::OpCounter flip;
             alg.after_gpu_level(dspan, tasks, flip);
             rep.gpu_busy += detail::hook_time(dev, flip);
@@ -153,12 +157,15 @@ ExecReport run_basic_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std::sp
     if (opts.functional) {
         buf->copy_to_host();
         std::copy(buf->host_view().begin(), buf->host_view().end(), data.begin());
+        if (val != nullptr) {
+            analysis::lint_residency(buf_events, alg.name() + "/device-buffer", *val);
+        }
     }
 
     // --- CPU phase: remaining top levels.
     if (gpu_top > 0) {
         rep.cpu_busy += detail::cpu_levels(hpu.cpu(), alg, data, data.size(), gpu_top - 1,
-                                           std::uint64_t{0}, opts, &rep.levels_cpu);
+                                           std::uint64_t{0}, opts, &rep.levels_cpu, val);
         clock = hpu.timeline().record(sim::EventKind::kCpuLevel, alg.name(), clock, rep.cpu_busy);
     }
     rep.total = rep.gpu_busy + rep.cpu_busy + rep.transfer;
@@ -179,6 +186,7 @@ ExecReport run_advanced_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std:
     const ExecOptions& opts = adv.exec;
     sim::Device& dev = hpu.gpu();
     ExecReport rep;
+    analysis::AnalysisReport* val = detail::analysis_sink(opts, rep);
     const sim::Ticks pre = detail::host_pre_pass(alg, data, hpu.params().cpu.p);
 
     // --- Split level: tasks tile the array; the CPU takes the first
@@ -202,9 +210,11 @@ ExecReport run_advanced_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std:
     // --- GPU thread: ship slice, leaves + levels L-1..y, ship back.
     sim::Ticks gpu_clock = 0.0;
     std::optional<sim::DeviceBuffer<T>> buf;
+    std::vector<sim::BufferEvent> buf_events;
     std::span<T> dspan = gpu_region;
     if (opts.functional) {
         buf.emplace(std::vector<T>(gpu_region.begin(), gpu_region.end()));
+        if (val != nullptr) buf->set_trace(&buf_events);
         buf->copy_to_device();
         dspan = buf->device();
     }
@@ -222,12 +232,12 @@ ExecReport run_advanced_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std:
         // Hook costs apply only when device levels actually execute.
         gpu_kernels += detail::hook_time(dev, alg.analytic_gpu_hook_ops(gpu_region.size()));
     }
-    gpu_kernels += detail::gpu_leaves(dev, alg, dspan, opts.functional);
+    gpu_kernels += detail::gpu_leaves(dev, alg, dspan, opts.functional, val);
     for (std::uint64_t i = shape.L; i-- > y;) {
         const std::uint64_t tasks = gpu_region.size() / shape.task_size_at(i);
         if (tasks == 0) continue;
         if (opts.functional) {
-            gpu_kernels += detail::functional_gpu_level(dev, alg, dspan, tasks);
+            gpu_kernels += detail::functional_gpu_level(dev, alg, dspan, tasks, val);
             sim::OpCounter flip;
             alg.after_gpu_level(dspan, tasks, flip);
             gpu_kernels += detail::hook_time(dev, flip);
@@ -250,12 +260,15 @@ ExecReport run_advanced_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std:
     if (opts.functional) {
         buf->copy_to_host();
         std::copy(buf->host_view().begin(), buf->host_view().end(), gpu_region.begin());
+        if (val != nullptr) {
+            analysis::lint_residency(buf_events, alg.name() + "/device-buffer", *val);
+        }
     }
 
     // --- CPU thread (concurrent): leaves + levels L-1..s of its slice.
-    sim::Ticks cpu_clock = detail::cpu_leaves(hpu.cpu(), alg, cpu_region, opts.functional);
+    sim::Ticks cpu_clock = detail::cpu_leaves(hpu.cpu(), alg, cpu_region, opts.functional, val);
     cpu_clock += detail::cpu_levels(hpu.cpu(), alg, cpu_region, data.size(), shape.L - 1, s,
-                                    opts, &rep.levels_cpu);
+                                    opts, &rep.levels_cpu, val);
     rep.cpu_busy = cpu_clock;
     hpu.timeline().record(sim::EventKind::kCpuLevel, alg.name() + "/parallel", 0.0, cpu_clock);
 
@@ -267,11 +280,11 @@ ExecReport run_advanced_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std:
     sim::Ticks fin = 0.0;
     if (y > s) {
         fin += detail::cpu_levels(hpu.cpu(), alg, gpu_region, data.size(), y - 1, s, opts,
-                                  &rep.levels_cpu);
+                                  &rep.levels_cpu, val);
     }
     if (s > 0) {
         fin += detail::cpu_levels(hpu.cpu(), alg, data, data.size(), s - 1, std::uint64_t{0},
-                                  opts, &rep.levels_cpu);
+                                  opts, &rep.levels_cpu, val);
     }
     rep.finish = fin;
     hpu.timeline().record(sim::EventKind::kCpuLevel, alg.name() + "/finish", sync, fin);

@@ -15,9 +15,11 @@ sim::Ticks probe_elementwise_sum(sim::Device& device, std::uint64_t n, std::uint
     // The probe's data content is irrelevant to timing (uniform per-element
     // cost); we still execute it functionally to keep the probe honest.
     sim::DeviceBuffer<std::int32_t> a(n), b(n), out(n);
+    auto ah = a.host();
+    auto bh = b.host();
     for (std::uint64_t i = 0; i < n; ++i) {
-        a.host()[i] = static_cast<std::int32_t>(i);
-        b.host()[i] = static_cast<std::int32_t>(2 * i);
+        ah[i] = static_cast<std::int32_t>(i);
+        bh[i] = static_cast<std::int32_t>(2 * i);
     }
     a.copy_to_device();
     b.copy_to_device();

@@ -1,0 +1,45 @@
+// Per-work-item memory-access recording — the "Full" counterpart of the
+// Counts-mode pricing in OpCounter, extended from the AccessTrace idea of
+// memory_model.hpp: instead of flat per-step address streams we record the
+// read and write *sets* of each work-item of a launch (as arithmetic
+// progressions of word indices), which is what the hpu::analysis wave race
+// detector consumes. Recording is opt-in and free when disabled: kernels
+// call OpCounter::log_read/log_write, which are no-ops unless an
+// ItemAccessLog sink is attached (executors attach one per item when
+// ExecOptions::validate is on).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hpu::sim {
+
+/// One recorded access set: the `words` word indices
+/// begin, begin + stride, ..., begin + (words-1)·stride.
+/// stride == 1 is a contiguous range; larger strides describe the column
+/// walks of interleaved layouts (§6.3) exactly, so the race detector does
+/// not report false sharing between disjoint columns.
+struct MemAccess {
+    std::uint64_t begin = 0;
+    std::uint64_t words = 0;
+    std::uint64_t stride = 1;
+
+    /// Largest word index touched (begin when words <= 1).
+    std::uint64_t last() const noexcept {
+        return words == 0 ? begin : begin + (words - 1) * stride;
+    }
+};
+
+/// Read/write sets of one work-item (or one CPU-level task) of a launch.
+///
+/// Addresses live in a per-launch abstract word-index space chosen by the
+/// kernel: offsets into the launch's data span, with algorithm-private
+/// scratch storage logged at a disjoint base (see e.g. MergesortCoalesced).
+struct ItemAccessLog {
+    std::vector<MemAccess> reads;
+    std::vector<MemAccess> writes;
+
+    bool empty() const noexcept { return reads.empty() && writes.empty(); }
+};
+
+}  // namespace hpu::sim

@@ -2,15 +2,43 @@
 // model of §3.1: the host cannot see device writes (and vice versa) until an
 // explicit transfer. We physically keep two copies so stale-copy bugs in
 // schedulers surface as wrong results in tests rather than silently working.
+//
+// Every access and transfer can additionally be recorded into an external
+// BufferEvent log (set_trace); the hpu::analysis residency lint replays the
+// log to flag stale-copy reads, redundant transfers, and writes through
+// host() while a device copy is live.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "util/check.hpp"
 
 namespace hpu::sim {
+
+/// What happened to a DeviceBuffer, for the residency lint.
+enum class BufferOp : std::uint8_t {
+    kHostMut,       ///< host() — mutable host view acquired
+    kHostRead,      ///< host_view()
+    kDeviceMut,     ///< device() — mutable device view acquired
+    kDeviceRead,    ///< device_view()
+    kCopyToDevice,  ///< host→device transfer (full or partial)
+    kCopyToHost,    ///< device→host transfer (full or partial)
+};
+
+/// One entry of a buffer's access/transfer log. Validity flags are the
+/// state *before* the operation, which is what the lint rules condition on.
+struct BufferEvent {
+    BufferOp op;
+    bool host_valid_before = true;
+    bool device_valid_before = false;
+    std::size_t offset = 0;  ///< copied range (copies only)
+    std::size_t count = 0;
+    std::size_t size = 0;  ///< buffer size, so the lint can tell full from partial
+};
 
 template <typename T>
 class DeviceBuffer {
@@ -24,20 +52,30 @@ public:
     std::size_t size() const noexcept { return host_.size(); }
     std::size_t bytes() const noexcept { return host_.size() * sizeof(T); }
 
+    /// Attach (or detach, with nullptr) an event log. The buffer does not
+    /// own the sink; it must outlive the buffer's use.
+    void set_trace(std::vector<BufferEvent>* sink) noexcept { trace_ = sink; }
+
     /// Host-side view. Writing invalidates the device copy.
     std::span<T> host() noexcept {
+        record(BufferOp::kHostMut);
         device_valid_ = false;
         return host_;
     }
-    std::span<const T> host_view() const noexcept { return host_; }
+    std::span<const T> host_view() const noexcept {
+        record(BufferOp::kHostRead);
+        return host_;
+    }
 
     /// Device-side view, for kernel bodies. Requires a prior copy_to_device.
     std::span<T> device() {
+        record(BufferOp::kDeviceMut);
         HPU_CHECK(device_valid_, "kernel touched a buffer not resident on the device");
         host_valid_ = false;
         return device_;
     }
     std::span<const T> device_view() const {
+        record(BufferOp::kDeviceRead);
         HPU_CHECK(device_valid_, "kernel read a buffer not resident on the device");
         return device_;
     }
@@ -47,36 +85,56 @@ public:
 
     /// Physical host→device copy. Time accounting happens in CommandQueue.
     void copy_to_device() {
+        record(BufferOp::kCopyToDevice, 0, size());
         device_.assign(host_.begin(), host_.end());
         device_valid_ = true;
     }
     /// Physical device→host copy.
     void copy_to_host() {
+        record(BufferOp::kCopyToHost, 0, size());
         HPU_CHECK(device_valid_, "reading back a buffer that was never written on the device");
         host_.assign(device_.begin(), device_.end());
         host_valid_ = true;
     }
 
-    /// Partial host→device copy of [offset, offset+count).
+    /// Partial host→device copy of [offset, offset+count). A partial copy
+    /// refreshes a range of an already-valid device copy; it cannot
+    /// establish validity of the rest of the buffer, so the destination
+    /// must already be valid unless the range covers the whole buffer.
     void copy_to_device(std::size_t offset, std::size_t count) {
-        HPU_CHECK(offset + count <= size(), "partial copy out of range");
+        record(BufferOp::kCopyToDevice, offset, count);
+        HPU_CHECK(offset <= size() && count <= size() - offset, "partial copy out of range");
+        HPU_CHECK(device_valid_ || (offset == 0 && count == size()),
+                  "partial copy into a device buffer whose remaining contents are not valid");
         std::copy_n(host_.begin() + static_cast<std::ptrdiff_t>(offset), count,
                     device_.begin() + static_cast<std::ptrdiff_t>(offset));
         device_valid_ = true;
     }
-    /// Partial device→host copy of [offset, offset+count).
+    /// Partial device→host copy of [offset, offset+count). Same validity
+    /// rule as the host→device overload, mirrored.
     void copy_to_host(std::size_t offset, std::size_t count) {
-        HPU_CHECK(offset + count <= size(), "partial copy out of range");
+        record(BufferOp::kCopyToHost, offset, count);
+        HPU_CHECK(offset <= size() && count <= size() - offset, "partial copy out of range");
+        HPU_CHECK(device_valid_, "reading back a buffer that was never written on the device");
+        HPU_CHECK(host_valid_ || (offset == 0 && count == size()),
+                  "partial copy into a host buffer whose remaining contents are not valid");
         std::copy_n(device_.begin() + static_cast<std::ptrdiff_t>(offset), count,
                     host_.begin() + static_cast<std::ptrdiff_t>(offset));
         host_valid_ = true;
     }
 
 private:
+    void record(BufferOp op, std::size_t offset = 0, std::size_t count = 0) const {
+        if (trace_ != nullptr) {
+            trace_->push_back({op, host_valid_, device_valid_, offset, count, size()});
+        }
+    }
+
     std::vector<T> host_;
     std::vector<T> device_;
     bool host_valid_ = true;
     bool device_valid_ = false;
+    std::vector<BufferEvent>* trace_ = nullptr;
 };
 
 }  // namespace hpu::sim

@@ -5,6 +5,8 @@
 
 #include <cstdint>
 
+#include "sim/access_log.hpp"
+
 namespace hpu::sim {
 
 /// Memory access pattern, from the point of view of a SIMT wave: whether
@@ -19,6 +21,11 @@ struct OpCounter {
     std::uint64_t compute = 0;         ///< scalar compute ops
     std::uint64_t mem_coalesced = 0;   ///< words accessed coalesced
     std::uint64_t mem_strided = 0;     ///< words accessed strided
+    /// Optional access-set sink for the hpu::analysis race detector.
+    /// Charges and traces are deliberately decoupled: log_* records
+    /// addresses without pricing anything, so instrumenting a kernel can
+    /// never perturb the virtual clock. Excluded from merges.
+    ItemAccessLog* trace = nullptr;
 
     void charge_compute(std::uint64_t ops) noexcept { compute += ops; }
     void charge_mem(std::uint64_t words, Pattern p) noexcept {
@@ -27,6 +34,17 @@ struct OpCounter {
         } else {
             mem_strided += words;
         }
+    }
+
+    /// Record that this item reads the word indices
+    /// begin, begin+stride, ..., begin+(words-1)·stride. No-op (and no
+    /// cost) unless a trace sink is attached.
+    void log_read(std::uint64_t begin, std::uint64_t words, std::uint64_t stride = 1) {
+        if (trace != nullptr && words > 0) trace->reads.push_back({begin, words, stride});
+    }
+    /// Same, for writes.
+    void log_write(std::uint64_t begin, std::uint64_t words, std::uint64_t stride = 1) {
+        if (trace != nullptr && words > 0) trace->writes.push_back({begin, words, stride});
     }
 
     /// Total ops as seen by a CPU core: every word costs 1 op.

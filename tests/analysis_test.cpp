@@ -1,0 +1,457 @@
+// Tests of the hpu::analysis correctness passes (ISSUE 1): the wave race
+// detector, the buffer-residency lint, and the schedule-independence
+// checker — first against hand-built traces, then end-to-end through the
+// executors with seeded defective algorithms, and finally as a clean sweep
+// over every real algorithm × executor combination with validation on.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <cstdlib>
+#include <numeric>
+
+#include "algos/binary_reduce.hpp"
+#include "algos/fft.hpp"
+#include "algos/mergesort.hpp"
+#include "algos/mergesort_blocked.hpp"
+#include "analysis/race.hpp"
+#include "analysis/report.hpp"
+#include "analysis/residency.hpp"
+#include "analysis/schedule.hpp"
+#include "analysis/validate.hpp"
+#include "core/executors.hpp"
+#include "core/hybrid.hpp"
+#include "platforms/platforms.hpp"
+#include "util/rng.hpp"
+
+namespace hpu::analysis {
+namespace {
+
+std::uint64_t count_kind(const AnalysisReport& r, FindingKind k) {
+    std::uint64_t c = 0;
+    for (const auto& f : r.findings) c += f.kind == k ? 1 : 0;
+    return c;
+}
+
+// ---------------------------------------------------------------- races
+
+TEST(RaceDetector, FlagsWriteWriteOverlap) {
+    std::vector<sim::ItemAccessLog> items(2);
+    items[0].writes.push_back({0, 4, 1});  // words 0..3
+    items[1].writes.push_back({2, 4, 1});  // words 2..5 — overlap at 2, 3
+    AnalysisReport rep;
+    detect_races(items, /*wave_width=*/1, "unit/ww", rep);
+    ASSERT_EQ(rep.findings.size(), 1u);  // deduped per item pair
+    const Finding& f = rep.findings[0];
+    EXPECT_EQ(f.kind, FindingKind::kWriteWriteRace);
+    EXPECT_EQ(f.severity, Severity::kError);
+    EXPECT_EQ(f.item_a, 0u);
+    EXPECT_EQ(f.item_b, 1u);
+    EXPECT_EQ(f.wave_b, 1u);  // wave_width 1: item id == wave id
+    EXPECT_EQ(f.address, 2u);
+    EXPECT_NE(f.message().find("write-write-race"), std::string::npos);
+    EXPECT_NE(f.message().find("unit/ww"), std::string::npos);
+    EXPECT_FALSE(rep.clean());
+}
+
+TEST(RaceDetector, FlagsReadOfAnotherItemsWrite) {
+    std::vector<sim::ItemAccessLog> items(2);
+    items[0].writes.push_back({0, 4, 1});
+    items[1].reads.push_back({3, 2, 1});  // reads 3, 4 — word 3 is written by item 0
+    AnalysisReport rep;
+    detect_races(items, 2, "unit/rw", rep);
+    ASSERT_EQ(rep.findings.size(), 1u);
+    EXPECT_EQ(rep.findings[0].kind, FindingKind::kReadWriteRace);
+    EXPECT_EQ(rep.findings[0].item_a, 0u);  // the writer
+    EXPECT_EQ(rep.findings[0].item_b, 1u);  // the reader
+    EXPECT_EQ(rep.findings[0].address, 3u);
+}
+
+TEST(RaceDetector, CleanForDisjointSlices) {
+    std::vector<sim::ItemAccessLog> items(4);
+    for (std::uint64_t j = 0; j < 4; ++j) {
+        items[j].reads.push_back({j * 8, 8, 1});
+        items[j].writes.push_back({j * 8, 8, 1});
+    }
+    AnalysisReport rep;
+    detect_races(items, 2, "unit/clean", rep);
+    EXPECT_TRUE(rep.findings.empty());
+    EXPECT_EQ(rep.launches_checked, 1u);
+    EXPECT_TRUE(rep.clean());
+}
+
+TEST(RaceDetector, InterleavedColumnsAreExactlyDisjoint) {
+    // The §6.3 coalesced layout: item j owns column j of a runs×m grid.
+    // Address arithmetic, not heuristics, must prove these disjoint.
+    const std::uint64_t runs = 8, m = 16;
+    std::vector<sim::ItemAccessLog> items(runs);
+    for (std::uint64_t j = 0; j < runs; ++j) items[j].writes.push_back({j, m, runs});
+    AnalysisReport rep;
+    detect_races(items, 4, "unit/columns", rep);
+    EXPECT_TRUE(rep.findings.empty());
+}
+
+TEST(RaceDetector, OverlappingStridedWalksAreFlagged) {
+    std::vector<sim::ItemAccessLog> items(2);
+    items[0].writes.push_back({0, 4, 2});  // 0, 2, 4, 6
+    items[1].writes.push_back({2, 4, 4});  // 2, 6, 10, 14 — collides at 2 and 6
+    AnalysisReport rep;
+    detect_races(items, 2, "unit/stride", rep);
+    ASSERT_EQ(rep.findings.size(), 1u);
+    EXPECT_EQ(rep.findings[0].kind, FindingKind::kWriteWriteRace);
+    EXPECT_EQ(rep.findings[0].address, 2u);
+}
+
+TEST(RaceDetector, OversizedTraceIsSkippedNotSilentlyTruncated) {
+    std::vector<sim::ItemAccessLog> items(1);
+    items[0].writes.push_back({0, 1000, 1});
+    AnalysisReport rep;
+    RaceOptions opts;
+    opts.max_words = 100;
+    detect_races(items, 1, "unit/huge", rep, opts);
+    EXPECT_TRUE(rep.findings.empty());
+    EXPECT_EQ(rep.launches_checked, 0u);
+    EXPECT_EQ(rep.launches_skipped, 1u);
+}
+
+TEST(RaceDetector, FindingCapCountsSuppressed) {
+    // Items 1..19 each collide with item 0 on word 0: 19 distinct pairs,
+    // cap is 8, so 11 must be tallied, not dropped.
+    std::vector<sim::ItemAccessLog> items(20);
+    for (auto& it : items) it.writes.push_back({0, 1, 1});
+    AnalysisReport rep;
+    detect_races(items, 4, "unit/cap", rep);
+    EXPECT_EQ(rep.findings.size(), 8u);
+    EXPECT_EQ(rep.findings_suppressed, 11u);
+}
+
+// ------------------------------------------------------------- residency
+
+TEST(ResidencyLint, FlagsStaleHostRead) {
+    sim::DeviceBuffer<int> buf(8);
+    std::vector<sim::BufferEvent> log;
+    buf.set_trace(&log);
+    buf.copy_to_device();
+    buf.device()[0] = 7;        // device now newer
+    (void)buf.host_view()[0];   // reads the pre-kernel host copy
+    AnalysisReport rep;
+    lint_residency(log, "unit/buf", rep);
+    EXPECT_EQ(count_kind(rep, FindingKind::kStaleHostRead), 1u);
+    EXPECT_FALSE(rep.clean());
+    EXPECT_NE(rep.findings[0].message().find("copy_to_host"), std::string::npos);
+}
+
+TEST(ResidencyLint, FlagsRedundantFullTransfer) {
+    sim::DeviceBuffer<int> buf(8);
+    std::vector<sim::BufferEvent> log;
+    buf.set_trace(&log);
+    buf.copy_to_device();
+    buf.copy_to_device();  // device copy already valid — moves nothing new
+    AnalysisReport rep;
+    lint_residency(log, "unit/buf", rep);
+    EXPECT_EQ(count_kind(rep, FindingKind::kRedundantTransfer), 1u);
+    EXPECT_EQ(rep.findings[0].severity, Severity::kWarning);
+    EXPECT_TRUE(rep.clean());  // warnings do not make a run unclean
+}
+
+TEST(ResidencyLint, FlagsHostWriteWhileDeviceCopyLive) {
+    sim::DeviceBuffer<int> buf(8);
+    std::vector<sim::BufferEvent> log;
+    buf.set_trace(&log);
+    buf.copy_to_device();
+    buf.host()[0] = 1;  // kills the device copy; host_view() would not have
+    AnalysisReport rep;
+    lint_residency(log, "unit/buf", rep);
+    EXPECT_EQ(count_kind(rep, FindingKind::kHostWriteWhileDeviceLive), 1u);
+}
+
+TEST(ResidencyLint, FlagsWriteOverStaleHostCopy) {
+    sim::DeviceBuffer<int> buf(8);
+    std::vector<sim::BufferEvent> log;
+    buf.set_trace(&log);
+    buf.copy_to_device();
+    buf.device()[0] = 7;  // host copy now stale
+    buf.host()[0] = 1;    // overwrites without reading back — results lost
+    AnalysisReport rep;
+    lint_residency(log, "unit/buf", rep);
+    EXPECT_EQ(count_kind(rep, FindingKind::kStaleHostWrite), 1u);
+}
+
+TEST(ResidencyLint, CleanForCanonicalRoundTrip) {
+    sim::DeviceBuffer<int> buf(8);
+    std::vector<sim::BufferEvent> log;
+    buf.set_trace(&log);
+    buf.host()[0] = 1;
+    buf.copy_to_device();
+    buf.device()[0] = 2;
+    buf.copy_to_host();
+    (void)buf.host_view()[0];
+    AnalysisReport rep;
+    lint_residency(log, "unit/buf", rep);
+    EXPECT_TRUE(rep.findings.empty());
+}
+
+// -------------------------------------------------------------- schedule
+
+TEST(ScheduleChecker, FlagsOrderDependentKernel) {
+    std::vector<int> data(4, 0);
+    const std::vector<int> before = data;
+    auto run_item = [&](std::uint64_t j) {
+        data[0] = data[0] * 2 + static_cast<int>(j);  // non-commutative fold
+    };
+    for (std::uint64_t j = 0; j < 4; ++j) run_item(j);
+    const std::vector<int> after = data;
+    auto f = check_schedule_independence(std::span(data), std::span<const int>(before),
+                                         std::span<const int>(after), 4, run_item,
+                                         /*seed=*/4, "unit/order");
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->kind, FindingKind::kOrderDependent);
+    EXPECT_EQ(data, after);  // canonical result restored despite the finding
+}
+
+TEST(ScheduleChecker, CleanForIndependentItemsAndRestores) {
+    std::vector<int> data(8, -1);
+    const std::vector<int> before = data;
+    auto run_item = [&](std::uint64_t j) { data[j] = static_cast<int>(j) * 10; };
+    for (std::uint64_t j = 0; j < 8; ++j) run_item(j);
+    const std::vector<int> after = data;
+    auto f = check_schedule_independence(std::span(data), std::span<const int>(before),
+                                         std::span<const int>(after), 8, run_item, 8,
+                                         "unit/indep");
+    EXPECT_FALSE(f.has_value());
+    EXPECT_EQ(data, after);
+}
+
+// ------------------------------------------------- seeded defective algos
+
+/// Defect seed 1: every task folds into word 0 — write-write and
+/// read-write races across items, and an order-dependent result. The
+/// kernel *honestly declares* its accesses, so the race detector must
+/// catch it from the trace alone.
+class RacyAccumulate final : public core::LevelAlgorithm<int> {
+public:
+    std::string name() const override { return "racy-accumulate"; }
+    std::uint64_t a() const override { return 2; }
+    std::uint64_t b() const override { return 2; }
+    model::Recurrence recurrence() const override { return model::sum_recurrence(4.0); }
+
+    void run_task(std::span<int> data, std::uint64_t count, std::uint64_t j,
+                  sim::OpCounter& ops) const override {
+        const std::uint64_t sz = data.size() / count;
+        data[0] = data[0] * 2 + data[j * sz];
+        ops.charge_compute(2);
+        ops.charge_mem(3, sim::Pattern::kStrided);
+        ops.log_read(0, 1);
+        ops.log_read(j * sz, 1);
+        ops.log_write(0, 1);
+    }
+};
+
+/// Defect seed 2: order-dependent like RacyAccumulate, but the kernel
+/// *lies about its footprint* — it declares only its own slice. The race
+/// detector cannot see the conflict; the schedule-independence re-run
+/// must catch it behaviourally.
+class SneakyOrderDependent final : public core::LevelAlgorithm<int> {
+public:
+    std::string name() const override { return "sneaky-order-dependent"; }
+    std::uint64_t a() const override { return 2; }
+    std::uint64_t b() const override { return 2; }
+    model::Recurrence recurrence() const override { return model::sum_recurrence(4.0); }
+
+    void run_task(std::span<int> data, std::uint64_t count, std::uint64_t j,
+                  sim::OpCounter& ops) const override {
+        const std::uint64_t sz = data.size() / count;
+        data[0] = data[0] * 31 + static_cast<int>(j);
+        ops.charge_compute(2);
+        ops.charge_mem(3, sim::Pattern::kStrided);
+        ops.log_read(j * sz, 1);   // declared: own slice only — a lie
+        ops.log_write(j * sz, 1);
+    }
+};
+
+core::ExecOptions validating() {
+    core::ExecOptions opts;
+    opts.validate = true;
+    return opts;
+}
+
+TEST(ExecutorValidation, RacyKernelIsFlaggedOnTheGpuPath) {
+    std::vector<int> data(64, 1);
+    sim::Hpu h(platforms::hpu1());
+    RacyAccumulate alg;
+    const auto rep = core::run_gpu(h, alg, std::span(data), validating());
+    EXPECT_FALSE(rep.analysis.clean());
+    EXPECT_TRUE(rep.analysis.has(FindingKind::kWriteWriteRace));
+    EXPECT_TRUE(rep.analysis.has(FindingKind::kReadWriteRace));
+    // The honest trace also yields an order-dependence hit from the re-run.
+    EXPECT_TRUE(rep.analysis.has(FindingKind::kOrderDependent));
+}
+
+TEST(ExecutorValidation, RacyKernelIsFlaggedOnTheCpuPath) {
+    std::vector<int> data(64, 1);
+    sim::Hpu h(platforms::hpu1());
+    RacyAccumulate alg;
+    const auto rep = core::run_multicore(h.cpu(), alg, std::span(data), validating());
+    EXPECT_TRUE(rep.analysis.has(FindingKind::kWriteWriteRace));
+    EXPECT_FALSE(rep.analysis.clean());
+}
+
+TEST(ExecutorValidation, UndeclaredOrderDependenceIsCaughtByReExecution) {
+    std::vector<int> data(64, 1);
+    sim::Hpu h(platforms::hpu1());
+    SneakyOrderDependent alg;
+    const auto rep = core::run_gpu(h, alg, std::span(data), validating());
+    // The declared (false) footprint is race-free...
+    EXPECT_FALSE(rep.analysis.has(FindingKind::kWriteWriteRace));
+    // ...but the permuted re-run exposes the defect.
+    EXPECT_TRUE(rep.analysis.has(FindingKind::kOrderDependent));
+    EXPECT_FALSE(rep.analysis.clean());
+}
+
+TEST(ExecutorValidation, ValidationOffReportsNothing) {
+    std::vector<int> data(64, 1);
+    sim::Hpu h(platforms::hpu1());
+    RacyAccumulate alg;
+    core::ExecOptions opts;
+    opts.validate = false;
+    const auto rep = core::run_gpu(h, alg, std::span(data), opts);
+    EXPECT_TRUE(rep.analysis.findings.empty());
+    EXPECT_EQ(rep.analysis.launches_checked, 0u);
+}
+
+// --------------------------------------------- clean sweep over real algos
+
+std::vector<std::int32_t> random_input(std::uint64_t n, std::uint64_t seed) {
+    util::Rng rng(seed);
+    return rng.int_vector(n, 0, static_cast<std::int64_t>(2 * n));
+}
+
+/// Runs one algorithm through every executor with validation on and
+/// requires a finding-free report each time (the Alg. 3 independence
+/// contract, now checked rather than assumed).
+template <typename Alg>
+void expect_clean_everywhere(Alg& alg, std::uint64_t n) {
+    sim::Hpu h(platforms::hpu1());
+    const auto base = random_input(n, n ^ 0xbeef);
+
+    auto data = base;
+    auto rep = core::run_sequential(h.cpu(), alg, std::span(data), validating());
+    EXPECT_TRUE(rep.analysis.findings.empty()) << alg.name() << "/sequential:\n"
+                                               << rep.analysis.summary();
+    EXPECT_GT(rep.analysis.launches_checked, 0u);
+
+    data = base;
+    rep = core::run_multicore(h.cpu(), alg, std::span(data), validating());
+    EXPECT_TRUE(rep.analysis.findings.empty()) << alg.name() << "/multicore:\n"
+                                               << rep.analysis.summary();
+
+    data = base;
+    rep = core::run_gpu(h, alg, std::span(data), validating());
+    EXPECT_TRUE(rep.analysis.findings.empty()) << alg.name() << "/gpu:\n"
+                                               << rep.analysis.summary();
+
+    data = base;
+    rep = core::run_basic_hybrid(h, alg, std::span(data), validating());
+    EXPECT_TRUE(rep.analysis.findings.empty()) << alg.name() << "/basic-hybrid:\n"
+                                               << rep.analysis.summary();
+
+    data = base;
+    core::AdvancedOptions adv;
+    adv.exec = validating();
+    rep = core::run_advanced_hybrid(h, alg, std::span(data), 0.25, 3, adv);
+    EXPECT_TRUE(rep.analysis.findings.empty()) << alg.name() << "/advanced-hybrid:\n"
+                                               << rep.analysis.summary();
+}
+
+TEST(CleanSweep, MergesortPlain) {
+    algos::MergesortPlain<std::int32_t> alg;
+    expect_clean_everywhere(alg, 256);
+}
+
+TEST(CleanSweep, MergesortCoalesced) {
+    algos::MergesortCoalesced<std::int32_t> alg;
+    expect_clean_everywhere(alg, 256);
+}
+
+TEST(CleanSweep, MergesortBlocked) {
+    algos::MergesortBlocked<std::int32_t> alg(16);
+    expect_clean_everywhere(alg, 256);
+}
+
+TEST(CleanSweep, BinaryReductions) {
+    auto sum = algos::make_sum<std::int32_t>();
+    expect_clean_everywhere(sum, 256);
+    auto mx = algos::make_max<std::int32_t>();
+    expect_clean_everywhere(mx, 256);
+}
+
+TEST(CleanSweep, Fft) {
+    const std::uint64_t n = 64;
+    sim::Hpu h(platforms::hpu1());
+    algos::DcFft alg;
+    util::Rng rng(11);
+    std::vector<std::complex<double>> base(n);
+    for (auto& c : base) c = {rng.uniform_real(-1.0, 1.0), rng.uniform_real(-1.0, 1.0)};
+
+    auto data = base;
+    auto rep = core::run_gpu(h, alg, std::span(data), validating());
+    EXPECT_TRUE(rep.analysis.findings.empty()) << rep.analysis.summary();
+
+    data = base;
+    rep = core::run_multicore(h.cpu(), alg, std::span(data), validating());
+    EXPECT_TRUE(rep.analysis.findings.empty()) << rep.analysis.summary();
+}
+
+TEST(CleanSweep, ValidationDoesNotPerturbResultsOrTime) {
+    // The passes re-execute kernels and snapshot buffers; neither the
+    // sorted output nor the virtual clock may change.
+    const std::uint64_t n = 512;
+    sim::Hpu h(platforms::hpu1());
+    algos::MergesortCoalesced<std::int32_t> alg;
+    auto plain = random_input(n, 77);
+    auto checked = plain;
+    core::ExecOptions off;
+    off.validate = false;
+    const auto rep_off = core::run_gpu(h, alg, std::span(plain), off);
+    const auto rep_on = core::run_gpu(h, alg, std::span(checked), validating());
+    EXPECT_EQ(plain, checked);
+    EXPECT_TRUE(std::is_sorted(plain.begin(), plain.end()));
+    EXPECT_DOUBLE_EQ(rep_off.total, rep_on.total);
+    EXPECT_TRUE(rep_on.analysis.findings.empty()) << rep_on.analysis.summary();
+}
+
+// ------------------------------------------------------------ env gating
+
+TEST(EnvGate, HpuValidateSeedsTheDefault) {
+    ::unsetenv("HPU_VALIDATE");
+    EXPECT_FALSE(core::ExecOptions{}.validate);
+    ::setenv("HPU_VALIDATE", "1", 1);
+    EXPECT_TRUE(core::ExecOptions{}.validate);
+    ::setenv("HPU_VALIDATE", "off", 1);
+    EXPECT_FALSE(core::ExecOptions{}.validate);
+    ::setenv("HPU_VALIDATE", "ON", 1);
+    EXPECT_TRUE(core::ExecOptions{}.validate);
+    ::unsetenv("HPU_VALIDATE");
+}
+
+TEST(Report, SummaryAndMerge) {
+    AnalysisReport a;
+    Finding f;
+    f.kind = FindingKind::kWriteWriteRace;
+    f.severity = Severity::kError;
+    f.launch = "x/gpu-level[4 tasks]";
+    f.detail = "items 0 and 1 both touch word 3";
+    a.add(f);
+    a.launches_checked = 2;
+    AnalysisReport b;
+    b.launches_checked = 3;
+    b.launches_skipped = 1;
+    b.merge(a);
+    EXPECT_EQ(b.launches_checked, 5u);
+    EXPECT_EQ(b.launches_skipped, 1u);
+    ASSERT_EQ(b.findings.size(), 1u);
+    EXPECT_NE(b.summary().find("write-write-race"), std::string::npos);
+    EXPECT_NE(b.summary().find("x/gpu-level[4 tasks]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpu::analysis

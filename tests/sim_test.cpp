@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "sim/buffer.hpp"
 #include "sim/cpu_unit.hpp"
 #include "sim/device.hpp"
@@ -162,12 +164,57 @@ TEST(Buffer, HostAndDeviceAreDistinctCopies) {
 
 TEST(Buffer, PartialCopies) {
     DeviceBuffer<int> buf(8);
-    for (int i = 0; i < 8; ++i) buf.host()[i] = i;
+    // A partial copy refreshes a range; it cannot *establish* validity —
+    // the other 7 device words would be garbage marked valid.
+    EXPECT_THROW(buf.copy_to_device(3, 1), util::HpuError);
+
+    {
+        auto h = buf.host();
+        for (int i = 0; i < 8; ++i) h[i] = i;
+    }
     buf.copy_to_device();
-    buf.host()[3] = 100;
-    buf.copy_to_device(3, 1);
-    EXPECT_EQ(buf.device()[3], 100);
+    buf.copy_to_device(3, 2);  // refresh of a valid device copy: fine
+    EXPECT_EQ(buf.device_view()[3], 3);
+
+    buf.device()[5] = 55;  // device write → host copy stale
+    // Reading back one word cannot re-validate the 7 stale host words...
+    EXPECT_THROW(buf.copy_to_host(5, 1), util::HpuError);
+    // ...but a full-range copy can.
+    buf.copy_to_host(0, 8);
+    EXPECT_EQ(buf.host_view()[5], 55);
+    EXPECT_EQ(buf.host_view()[3], 3);
+}
+
+TEST(Buffer, PartialCopyRangeChecksDoNotOverflow) {
+    DeviceBuffer<int> buf(8);
+    buf.copy_to_device();
     EXPECT_THROW(buf.copy_to_device(6, 3), util::HpuError);
+    EXPECT_THROW(buf.copy_to_device(9, 0), util::HpuError);
+    // offset + count wraps around std::size_t; the check must not.
+    EXPECT_THROW(buf.copy_to_device(4, std::numeric_limits<std::size_t>::max()),
+                 util::HpuError);
+    EXPECT_THROW(buf.copy_to_host(4, std::numeric_limits<std::size_t>::max()),
+                 util::HpuError);
+}
+
+TEST(Buffer, EventTraceRecordsOpsAndPriorState) {
+    DeviceBuffer<int> buf(4);
+    std::vector<BufferEvent> log;
+    buf.set_trace(&log);
+    buf.host()[0] = 1;
+    buf.copy_to_device();
+    buf.device()[0] = 2;
+    buf.copy_to_host();
+    (void)buf.host_view()[0];
+    ASSERT_EQ(log.size(), 5u);
+    EXPECT_EQ(log[0].op, BufferOp::kHostMut);
+    EXPECT_EQ(log[1].op, BufferOp::kCopyToDevice);
+    EXPECT_FALSE(log[1].device_valid_before);  // state *before* the copy
+    EXPECT_EQ(log[2].op, BufferOp::kDeviceMut);
+    EXPECT_EQ(log[3].op, BufferOp::kCopyToHost);
+    EXPECT_FALSE(log[3].host_valid_before);
+    EXPECT_EQ(log[4].op, BufferOp::kHostRead);
+    EXPECT_TRUE(log[4].host_valid_before);
 }
 
 TEST(CpuUnit, UniformLevelMatchesClosedForm) {
