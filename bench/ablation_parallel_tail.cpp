@@ -15,7 +15,8 @@ int main(int argc, char** argv) {
     const std::uint64_t L = util::ilog2(n);
 
     core::ExecOptions opts = bench::exec_options(cli);
-    const sim::Ticks seq = bench::sequential_mergesort_time(spec.params, n, opts);
+    const sim::Ticks seq =
+        bench::sequential_mergesort_time(spec.params, n, opts, bench::input_seed(cli, n));
 
     std::cout << "Parallel-tail ablation (" << spec.name << "), mergesort, n=" << n
               << " (L=" << L << ", auto switch at ceil(log2 g)="

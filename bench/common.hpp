@@ -7,9 +7,18 @@
 //   --csv            emit CSV instead of the aligned table
 //   --platform=HPU1  restrict to one platform where applicable
 //   --n=<elems>      input size (power of two) where applicable
+//   --seed=<u64>     RNG seed for functional input data (default: derived
+//                    from n, so runs stay reproducible without the flag)
 //   --functional     run task bodies on real data instead of the analytic
 //                    fast path (slower, bit-verified; default off in
 //                    benches — the test suite covers functional parity)
+//   --validate       run the hpu::analysis correctness passes on every
+//                    functional level (implies nothing in analytic mode)
+//   --trace=<file>   record a span trace of the headline run and export it
+//                    as Chrome trace-event JSON (load in Perfetto or
+//                    chrome://tracing)
+//   --utilization    derive and print the utilization / model-drift report
+//                    from the same trace
 #pragma once
 
 #include <iostream>
@@ -18,6 +27,8 @@
 #include "core/hybrid.hpp"
 #include "model/advanced.hpp"
 #include "platforms/platforms.hpp"
+#include "trace/export.hpp"
+#include "trace/utilization.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -35,7 +46,14 @@ inline void emit(const util::Table& t, const util::Cli& cli) {
 inline core::ExecOptions exec_options(const util::Cli& cli) {
     core::ExecOptions o;
     o.functional = cli.get_bool("functional", false);
+    o.validate = cli.get_bool("validate", o.validate);
     return o;
+}
+
+/// Seed for functional input data: --seed if given, else derived from n
+/// (the historical default, kept so unflagged runs reproduce old numbers).
+inline std::uint64_t input_seed(const util::Cli& cli, std::uint64_t n) {
+    return static_cast<std::uint64_t>(cli.get_int("seed", static_cast<std::int64_t>(n)));
 }
 
 /// Platforms selected by --platform (default: both).
@@ -44,14 +62,53 @@ inline std::vector<platforms::PlatformSpec> selected_platforms(const util::Cli& 
     return platforms::all();
 }
 
+/// The --trace / --utilization sink: when either flag is present, exposes a
+/// TraceSession for the binary to attach to its headline run (benches
+/// sweep many configurations; they trace one representative run, not the
+/// whole sweep). finish() then exports and/or prints.
+class TraceSink {
+public:
+    explicit TraceSink(const util::Cli& cli)
+        : path_(cli.get("trace", "")), utilization_(cli.get_bool("utilization", false)) {}
+
+    /// Non-null when the user asked for any trace output.
+    trace::TraceSession* session() { return active() ? &session_ : nullptr; }
+    bool active() const noexcept { return !path_.empty() || utilization_; }
+
+    /// Exports --trace JSON and/or prints the --utilization report. `rec`
+    /// and `mult` must describe the traced algorithm, `hw` the platform of
+    /// the traced run.
+    void finish(const sim::HpuParams& hw, const model::Recurrence& rec, double mult = 1.0) {
+        if (!active() || session_.empty()) return;
+        if (!path_.empty()) {
+            if (trace::write_chrome_file(session_, path_)) {
+                std::cout << "\ntrace: " << session_.spans().size() << " spans -> " << path_
+                          << " (load in Perfetto / chrome://tracing)\n";
+            } else {
+                std::cerr << "\ntrace: cannot write " << path_ << "\n";
+            }
+        }
+        if (utilization_) {
+            std::cout << "\n";
+            trace::derive_utilization(session_, hw, rec, mult).print(std::cout);
+        }
+    }
+
+private:
+    std::string path_;
+    bool utilization_ = false;
+    trace::TraceSession session_;
+};
+
 /// The 1-core baseline time for mergesort at size n (virtual ticks).
 inline sim::Ticks sequential_mergesort_time(const sim::HpuParams& hw, std::uint64_t n,
-                                            const core::ExecOptions& opts) {
+                                            const core::ExecOptions& opts,
+                                            std::uint64_t seed) {
     sim::CpuUnit cpu(hw.cpu);
     algos::MergesortCoalesced<std::int32_t> alg;
     std::vector<std::int32_t> data(n);
     if (opts.functional) {
-        util::Rng rng(n);
+        util::Rng rng(seed);
         data = rng.int_vector(n, 0, static_cast<std::int64_t>(2 * n));
     }
     return core::run_sequential(cpu, alg, std::span(data), opts).total;

@@ -34,10 +34,11 @@ int main(int argc, char** argv) {
             sim::Hpu h(measured_hw);
             std::vector<std::int32_t> data(n);
             if (adv.exec.functional) {
-                util::Rng rng(n);
+                util::Rng rng(bench::input_seed(cli, n));
                 data = rng.int_vector(n, 0, static_cast<std::int64_t>(2 * n));
             }
-            const sim::Ticks seq = bench::sequential_mergesort_time(measured_hw, n, adv.exec);
+            const sim::Ticks seq = bench::sequential_mergesort_time(measured_hw, n, adv.exec,
+                                                                    bench::input_seed(cli, n));
             const auto rep =
                 core::run_advanced_hybrid(h, alg, std::span(data), opt.alpha, y, adv);
             t.add_row({static_cast<std::int64_t>(n), seq / rep.total, opt.speedup,

@@ -37,11 +37,12 @@ int main(int argc, char** argv) {
         sim::Hpu h(hw);
         std::vector<std::int32_t> data(n);
         if (opts.functional) {
-            util::Rng rng(n);
+            util::Rng rng(bench::input_seed(cli, n));
             data = rng.int_vector(n, 0, static_cast<std::int64_t>(2 * n));
         }
         const auto rep = algos::mergesort_gpu_parallel(h, std::span(data), opts);
-        const sim::Ticks seq = bench::sequential_mergesort_time(spec.params, n, opts);
+        const sim::Ticks seq =
+            bench::sequential_mergesort_time(spec.params, n, opts, bench::input_seed(cli, n));
         t.add_row({static_cast<std::int64_t>(n), rep.sort_time, rep.total(), seq,
                    seq / rep.sort_time, seq / rep.total()});
     }

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "analysis/report.hpp"
+#include "trace/counters.hpp"
 
 namespace hpu::analysis {
 
@@ -37,6 +38,7 @@ std::optional<Finding> check_schedule_independence(std::span<T> data,
                                                    std::uint64_t n_items, RunItem&& run_item,
                                                    std::uint64_t seed,
                                                    std::string_view launch_label) {
+    trace::count(trace::counters().validation_reexecutions);
     std::vector<std::uint64_t> order(n_items);
     std::iota(order.begin(), order.end(), 0);
     std::mt19937_64 eng(seed * 0x9e3779b97f4a7c15ull + 1);

@@ -12,12 +12,17 @@
 // level additionally runs the hpu::analysis correctness passes — wave race
 // detection, schedule-independence re-execution, buffer-residency lint —
 // and the findings are attached to ExecReport::analysis.
+//
+// With ExecOptions::trace set, every executor records a hierarchical span
+// tree (run → phase → level → wave) into the given hpu::trace session.
+// Tracing follows the same discipline as validation: it is strictly off
+// the virtual-clock critical path, so attaching a session never changes
+// any ExecReport tick (enforced by test).
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <span>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -26,9 +31,11 @@
 #include "analysis/residency.hpp"
 #include "analysis/schedule.hpp"
 #include "analysis/validate.hpp"
+#include "core/labels.hpp"
 #include "core/level_algorithm.hpp"
 #include "sim/buffer.hpp"
 #include "sim/hpu.hpp"
+#include "trace/span.hpp"
 #include "util/check.hpp"
 #include "util/math.hpp"
 
@@ -50,6 +57,10 @@ struct ExecOptions {
     /// or via the HPU_VALIDATE environment variable. No effect on the
     /// virtual clock. Ignored in analytic mode (nothing executes).
     bool validate = analysis::env_validate_default();
+    /// Span tracer sink (see trace/span.hpp); nullptr = tracing off. The
+    /// session is not owned and may accumulate several runs. No effect on
+    /// the virtual clock.
+    trace::TraceSession* trace = nullptr;
 };
 
 /// Where time went; every executor fills one of these.
@@ -65,6 +76,9 @@ struct ExecReport {
     /// Findings of the correctness passes (empty unless ExecOptions::
     /// validate was on).
     analysis::AnalysisReport analysis;
+    /// The trace session spans were recorded into (echoes ExecOptions::
+    /// trace; nullptr when tracing was off).
+    trace::TraceSession* trace = nullptr;
 };
 
 namespace detail {
@@ -83,22 +97,115 @@ std::uint64_t level_count(const LevelAlgorithm<T>& alg, std::uint64_t n) {
     return L;  // internal levels 0 .. L-1; leaves below level L-1
 }
 
-/// Label of one validated launch, used as the owning-event name in
-/// analysis findings (matches the Timeline labels of the schedulers).
-inline std::string launch_label(const std::string& name, const char* phase,
-                                std::uint64_t tasks) {
-    std::ostringstream os;
-    os << name << '/' << phase << '[' << tasks << " tasks]";
-    return os.str();
+/// Where a detail helper records its trace spans: the session, the parent
+/// span, the virtual-clock tick the helper's span starts at, and (for
+/// level helpers) the global level index. A default-constructed context
+/// means "tracing off".
+struct SpanCtx {
+    trace::TraceSession* session = nullptr;
+    trace::SpanId parent = trace::kNoSpan;
+    sim::Ticks at = 0.0;
+    std::uint64_t level = trace::SpanAttrs::kNoLevel;
+
+    bool on() const noexcept { return session != nullptr; }
+
+    /// Same sink/parent, shifted clock (and optionally a level index).
+    SpanCtx shifted(sim::Ticks by, std::uint64_t lvl = trace::SpanAttrs::kNoLevel) const {
+        return SpanCtx{session, parent, at + by, lvl};
+    }
+};
+
+/// Clears the device's wave sink on scope exit (kernel bodies may throw).
+class WaveTraceGuard {
+public:
+    WaveTraceGuard(sim::Device& dev, std::vector<sim::WaveTrace>* sink) : dev_(dev) {
+        dev_.set_wave_trace(sink);
+    }
+    ~WaveTraceGuard() { dev_.set_wave_trace(nullptr); }
+    WaveTraceGuard(const WaveTraceGuard&) = delete;
+    WaveTraceGuard& operator=(const WaveTraceGuard&) = delete;
+
+private:
+    sim::Device& dev_;
+};
+
+/// Records the level span of one device launch plus its per-wave children.
+inline void trace_gpu_launch(const SpanCtx& tc, const std::string& name, const char* phase,
+                             const sim::Device& dev, const sim::LaunchResult& r,
+                             std::uint64_t tasks, const std::vector<sim::WaveTrace>& waves,
+                             trace::SpanKind kind) {
+    const auto& dp = dev.params();
+    trace::SpanAttrs a;
+    a.level = tc.level;
+    a.tasks = tasks;
+    a.items = r.items;
+    a.waves = r.waves;
+    a.ops = r.total_ops.gpu_ops(dp.strided_penalty);
+    a.work = static_cast<double>(r.total_ops.cpu_ops());
+    a.coalesced_transactions = util::ceil_div(r.total_ops.mem_coalesced, dp.coalesce_width);
+    a.strided_transactions = r.total_ops.mem_strided;
+    const trace::SpanId lvl = tc.session->record(
+        kind, trace::Unit::kGpu, launch_label(name, phase, tasks), tc.at, r.time, a,
+        tc.parent);
+    sim::Ticks cursor = tc.at + dp.launch_overhead;
+    for (const sim::WaveTrace& w : waves) {
+        trace::SpanAttrs wa;
+        wa.items = w.items;
+        wa.ops = w.ops.gpu_ops(dp.strided_penalty);
+        wa.work = static_cast<double>(w.ops.cpu_ops());
+        wa.coalesced_transactions = util::ceil_div(w.ops.mem_coalesced, dp.coalesce_width);
+        wa.strided_transactions = w.ops.mem_strided;
+        tc.session->record(trace::SpanKind::kWave, trace::Unit::kGpu,
+                           launch_label(name, "wave", w.items), cursor, w.duration, wa, lvl);
+        cursor += w.duration;
+    }
+}
+
+/// Records the span of one CPU level/leaf sweep from its LevelResult.
+inline void trace_cpu_level(const SpanCtx& tc, const std::string& name, const char* phase,
+                            const sim::LevelResult& r, trace::SpanKind kind) {
+    trace::SpanAttrs a;
+    a.level = tc.level;
+    a.tasks = r.tasks;
+    a.ops = static_cast<double>(r.total_ops.cpu_ops());
+    a.work = a.ops;
+    tc.session->record(kind, trace::Unit::kCpu, launch_label(name, phase, r.tasks), tc.at,
+                       r.time, a, tc.parent);
+}
+
+/// Records an analytic (not executed) level span on either unit.
+inline void trace_analytic_level(const SpanCtx& tc, const std::string& name, const char* phase,
+                                 trace::Unit unit, std::uint64_t tasks, double work,
+                                 double unit_ops, sim::Ticks time, trace::SpanKind kind,
+                                 std::uint64_t g = 0) {
+    trace::SpanAttrs a;
+    a.level = tc.level;
+    a.tasks = tasks;
+    a.work = work;
+    a.ops = unit_ops;
+    if (unit == trace::Unit::kGpu && g > 0) {
+        a.items = tasks;
+        a.waves = util::ceil_div(tasks, g);
+    }
+    tc.session->record(kind, unit, launch_label(name, phase, tasks), tc.at, time, a,
+                       tc.parent);
 }
 
 /// CPU time of one level in analytic mode (uniform tasks).
 template <typename T>
 sim::Ticks analytic_cpu_level(const sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg,
-                              std::uint64_t n_total, std::uint64_t tasks, std::uint64_t level) {
+                              std::uint64_t n_total, std::uint64_t tasks, std::uint64_t level,
+                              const SpanCtx& tc = {}) {
     const auto rec = alg.recurrence();
     const double ops = rec.task_cost(static_cast<double>(n_total), static_cast<double>(level));
-    return cpu.uniform_level_time(tasks, ops, alg.level_working_set_bytes(n_total));
+    const sim::Ticks t =
+        cpu.uniform_level_time(tasks, ops, alg.level_working_set_bytes(n_total));
+    if (tc.on()) {
+        const double work = static_cast<double>(tasks) * ops;
+        trace_analytic_level(tc, alg.name(), "cpu-level", trace::Unit::kCpu, tasks, work,
+                             work, t, trace::SpanKind::kLevel);
+    }
+    return t;
 }
 
 /// Functional CPU execution of one level: run every task, measure, makespan.
@@ -107,24 +214,27 @@ template <typename T>
 sim::Ticks functional_cpu_level(sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg,
                                 std::span<T> data, std::uint64_t tasks,
                                 const ExecOptions& opts,
-                                analysis::AnalysisReport* report = nullptr) {
+                                analysis::AnalysisReport* report = nullptr,
+                                const SpanCtx& tc = {}) {
+    sim::LevelResult r;
     if (report == nullptr) {
-        const auto r = cpu.run_level(
+        r = cpu.run_level(
             tasks,
             [&](std::uint64_t j, sim::OpCounter& ops) { alg.run_task(data, tasks, j, ops); },
             alg.level_working_set_bytes(data.size()), opts.order);
-        return r.time;
+    } else {
+        std::vector<sim::ItemAccessLog> logs(tasks);
+        r = cpu.run_level(
+            tasks,
+            [&](std::uint64_t j, sim::OpCounter& ops) {
+                ops.trace = &logs[j];
+                alg.run_task(data, tasks, j, ops);
+            },
+            alg.level_working_set_bytes(data.size()), opts.order);
+        analysis::detect_races(logs, cpu.params().p,
+                               launch_label(alg.name(), "cpu-level", tasks), *report);
     }
-    std::vector<sim::ItemAccessLog> logs(tasks);
-    const auto r = cpu.run_level(
-        tasks,
-        [&](std::uint64_t j, sim::OpCounter& ops) {
-            ops.trace = &logs[j];
-            alg.run_task(data, tasks, j, ops);
-        },
-        alg.level_working_set_bytes(data.size()), opts.order);
-    analysis::detect_races(logs, cpu.params().p, launch_label(alg.name(), "cpu-level", tasks),
-                           *report);
+    if (tc.on()) trace_cpu_level(tc, alg.name(), "cpu-level", r, trace::SpanKind::kLevel);
     return r.time;
 }
 
@@ -135,30 +245,38 @@ sim::Ticks functional_cpu_level(sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg,
 template <typename T>
 sim::Ticks functional_gpu_level(sim::Device& dev, const LevelAlgorithm<T>& alg,
                                 std::span<T> device_data, std::uint64_t tasks,
-                                analysis::AnalysisReport* report = nullptr) {
+                                analysis::AnalysisReport* report = nullptr,
+                                const SpanCtx& tc = {}) {
+    std::vector<sim::WaveTrace> waves;
+    WaveTraceGuard guard(dev, tc.on() ? &waves : nullptr);
+    sim::LaunchResult r;
     if (report == nullptr) {
-        const auto r = dev.launch(tasks, [&](sim::WorkItem& wi) {
+        r = dev.launch(tasks, [&](sim::WorkItem& wi) {
             alg.run_device_task(device_data, tasks, wi.global_id(), wi.ops());
         });
-        return r.time;
+    } else {
+        std::vector<sim::ItemAccessLog> logs(tasks);
+        const std::vector<T> before(device_data.begin(), device_data.end());
+        r = dev.launch(tasks, [&](sim::WorkItem& wi) {
+            wi.ops().trace = &logs[wi.global_id()];
+            alg.run_device_task(device_data, tasks, wi.global_id(), wi.ops());
+        });
+        const std::string label = launch_label(alg.name(), "gpu-level", tasks);
+        analysis::detect_races(logs, dev.params().g, label, *report);
+        const std::vector<T> after(device_data.begin(), device_data.end());
+        auto finding = analysis::check_schedule_independence(
+            device_data, std::span<const T>(before), std::span<const T>(after), tasks,
+            [&](std::uint64_t j) {
+                sim::OpCounter throwaway;
+                alg.run_device_task(device_data, tasks, j, throwaway);
+            },
+            /*seed=*/tasks, label);
+        if (finding) report->add(std::move(*finding));
     }
-    std::vector<sim::ItemAccessLog> logs(tasks);
-    const std::vector<T> before(device_data.begin(), device_data.end());
-    const auto r = dev.launch(tasks, [&](sim::WorkItem& wi) {
-        wi.ops().trace = &logs[wi.global_id()];
-        alg.run_device_task(device_data, tasks, wi.global_id(), wi.ops());
-    });
-    const std::string label = launch_label(alg.name(), "gpu-level", tasks);
-    analysis::detect_races(logs, dev.params().g, label, *report);
-    const std::vector<T> after(device_data.begin(), device_data.end());
-    auto finding = analysis::check_schedule_independence(
-        device_data, std::span<const T>(before), std::span<const T>(after), tasks,
-        [&](std::uint64_t j) {
-            sim::OpCounter throwaway;
-            alg.run_device_task(device_data, tasks, j, throwaway);
-        },
-        /*seed=*/tasks, label);
-    if (finding) report->add(std::move(*finding));
+    if (tc.on()) {
+        trace_gpu_launch(tc, alg.name(), "gpu-level", dev, r, tasks, waves,
+                         trace::SpanKind::kLevel);
+    }
     return r.time;
 }
 
@@ -169,81 +287,172 @@ inline sim::Ticks hook_time(const sim::Device& dev, const sim::OpCounter& ops) {
            static_cast<double>(dev.params().g);
 }
 
+/// hook_time plus an optional kHook span (skipped when the hook charged
+/// nothing — most algorithms have empty hooks).
+inline sim::Ticks traced_hook(const sim::Device& dev, const sim::OpCounter& ops,
+                              const std::string& name, const char* what, const SpanCtx& tc) {
+    const sim::Ticks t = hook_time(dev, ops);
+    if (tc.on() && t > 0.0) {
+        trace::SpanAttrs a;
+        a.ops = ops.gpu_ops(dev.params().strided_penalty);
+        a.work = static_cast<double>(ops.cpu_ops());
+        tc.session->record(trace::SpanKind::kHook, trace::Unit::kGpu, phase_label(name, what),
+                           tc.at, t, a, tc.parent);
+    }
+    return t;
+}
+
 /// Analytic device time of one level (uniform tasks, device pricing via the
 /// algorithm's op mix).
 template <typename T>
 sim::Ticks analytic_gpu_level(const sim::Device& dev, const LevelAlgorithm<T>& alg,
-                              std::uint64_t n_total, std::uint64_t tasks, std::uint64_t level) {
+                              std::uint64_t n_total, std::uint64_t tasks, std::uint64_t level,
+                              const SpanCtx& tc = {}) {
     const auto rec = alg.recurrence();
-    const double ops = rec.task_cost(static_cast<double>(n_total), static_cast<double>(level)) *
-                       alg.device_ops_multiplier(dev.params());
-    return dev.uniform_launch_time(tasks, ops);
+    const double work =
+        rec.task_cost(static_cast<double>(n_total), static_cast<double>(level));
+    const double ops = work * alg.device_ops_multiplier(dev.params());
+    const sim::Ticks t = dev.uniform_launch_time(tasks, ops);
+    if (tc.on()) {
+        trace_analytic_level(tc, alg.name(), "gpu-level", trace::Unit::kGpu, tasks,
+                             static_cast<double>(tasks) * work,
+                             static_cast<double>(tasks) * ops, t, trace::SpanKind::kLevel,
+                             dev.params().g);
+    }
+    return t;
 }
 
 /// Host pre-pass (e.g. FFT bit-reversal), priced as p-way parallel CPU work.
 template <typename T>
-sim::Ticks host_pre_pass(const LevelAlgorithm<T>& alg, std::span<T> data, std::size_t p) {
+sim::Ticks host_pre_pass(const LevelAlgorithm<T>& alg, std::span<T> data, std::size_t p,
+                         const SpanCtx& tc = {}) {
     sim::OpCounter pre;
     alg.before_run(data, pre);
-    return static_cast<sim::Ticks>(pre.cpu_ops()) / static_cast<double>(p);
+    const sim::Ticks t = static_cast<sim::Ticks>(pre.cpu_ops()) / static_cast<double>(p);
+    if (tc.on() && t > 0.0) {
+        trace::SpanAttrs a;
+        a.ops = static_cast<double>(pre.cpu_ops());
+        a.work = a.ops;
+        tc.session->record(trace::SpanKind::kHook, trace::Unit::kCpu,
+                           phase_label(alg.name(), "pre"), tc.at, t, a, tc.parent);
+    }
+    return t;
 }
 
 /// Leaf sweep on the CPU unit: functional when the algorithm has real leaf
 /// work, analytic otherwise.
 template <typename T>
 sim::Ticks cpu_leaves(sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg, std::span<T> region,
-                      bool functional, analysis::AnalysisReport* report = nullptr) {
+                      bool functional, analysis::AnalysisReport* report = nullptr,
+                      const SpanCtx& tc = {}) {
     const std::uint64_t count = region.size() / alg.base_size();
     if (count == 0) return 0.0;
     if (functional && alg.has_leaf_work()) {
+        sim::LevelResult r;
         if (report == nullptr) {
-            return cpu.run_level(count, [&](std::uint64_t j, sim::OpCounter& ops) {
-                          alg.run_leaf(region, count, j, ops);
-                      })
-                .time;
+            r = cpu.run_level(count, [&](std::uint64_t j, sim::OpCounter& ops) {
+                alg.run_leaf(region, count, j, ops);
+            });
+        } else {
+            std::vector<sim::ItemAccessLog> logs(count);
+            r = cpu.run_level(count, [&](std::uint64_t j, sim::OpCounter& ops) {
+                ops.trace = &logs[j];
+                alg.run_leaf(region, count, j, ops);
+            });
+            analysis::detect_races(logs, cpu.params().p,
+                                   launch_label(alg.name(), "cpu-leaves", count), *report);
         }
-        std::vector<sim::ItemAccessLog> logs(count);
-        const auto r = cpu.run_level(count, [&](std::uint64_t j, sim::OpCounter& ops) {
-            ops.trace = &logs[j];
-            alg.run_leaf(region, count, j, ops);
-        });
-        analysis::detect_races(logs, cpu.params().p,
-                               launch_label(alg.name(), "cpu-leaves", count), *report);
+        if (tc.on()) {
+            trace_cpu_level(tc, alg.name(), "cpu-leaves", r, trace::SpanKind::kLeaves);
+        }
         return r.time;
     }
-    return cpu.uniform_level_time(count, alg.recurrence().leaf_cost);
+    const sim::Ticks t = cpu.uniform_level_time(count, alg.recurrence().leaf_cost);
+    if (tc.on()) {
+        const double work = static_cast<double>(count) * alg.recurrence().leaf_cost;
+        trace_analytic_level(tc, alg.name(), "cpu-leaves", trace::Unit::kCpu, count, work,
+                             work, t, trace::SpanKind::kLeaves);
+    }
+    return t;
 }
 
 /// Leaf sweep on the device, one work-item per base block.
 template <typename T>
 sim::Ticks gpu_leaves(sim::Device& dev, const LevelAlgorithm<T>& alg, std::span<T> region,
-                      bool functional, analysis::AnalysisReport* report = nullptr) {
+                      bool functional, analysis::AnalysisReport* report = nullptr,
+                      const SpanCtx& tc = {}) {
     const std::uint64_t count = region.size() / alg.base_size();
     if (count == 0) return 0.0;
     if (functional && alg.has_leaf_work()) {
+        std::vector<sim::WaveTrace> waves;
+        WaveTraceGuard guard(dev, tc.on() ? &waves : nullptr);
+        sim::LaunchResult r;
         if (report == nullptr) {
-            return dev
-                .launch(count,
-                        [&](sim::WorkItem& wi) {
-                            alg.run_leaf(region, count, wi.global_id(), wi.ops());
-                        })
-                .time;
+            r = dev.launch(count, [&](sim::WorkItem& wi) {
+                alg.run_leaf(region, count, wi.global_id(), wi.ops());
+            });
+        } else {
+            std::vector<sim::ItemAccessLog> logs(count);
+            r = dev.launch(count, [&](sim::WorkItem& wi) {
+                wi.ops().trace = &logs[wi.global_id()];
+                alg.run_leaf(region, count, wi.global_id(), wi.ops());
+            });
+            analysis::detect_races(logs, dev.params().g,
+                                   launch_label(alg.name(), "gpu-leaves", count), *report);
         }
-        std::vector<sim::ItemAccessLog> logs(count);
-        const auto r = dev.launch(count, [&](sim::WorkItem& wi) {
-            wi.ops().trace = &logs[wi.global_id()];
-            alg.run_leaf(region, count, wi.global_id(), wi.ops());
-        });
-        analysis::detect_races(logs, dev.params().g,
-                               launch_label(alg.name(), "gpu-leaves", count), *report);
+        if (tc.on()) {
+            trace_gpu_launch(tc, alg.name(), "gpu-leaves", dev, r, count, waves,
+                             trace::SpanKind::kLeaves);
+        }
         return r.time;
     }
-    return dev.uniform_launch_time(count, alg.recurrence().leaf_cost);
+    const sim::Ticks t = dev.uniform_launch_time(count, alg.recurrence().leaf_cost);
+    if (tc.on()) {
+        const double work = static_cast<double>(count) * alg.recurrence().leaf_cost;
+        trace_analytic_level(tc, alg.name(), "gpu-leaves", trace::Unit::kGpu, count, work,
+                             work, t, trace::SpanKind::kLeaves, dev.params().g);
+    }
+    return t;
 }
 
 /// The analysis sink for a run: the report when validating, else null.
 inline analysis::AnalysisReport* analysis_sink(const ExecOptions& opts, ExecReport& rep) {
     return (opts.validate && opts.functional) ? &rep.analysis : nullptr;
+}
+
+/// Opens the root run span of one executor invocation (kNoSpan when
+/// tracing is off); close_run finalizes its end once the total is known.
+inline trace::SpanId open_run(const ExecOptions& opts, const std::string& name,
+                              const char* executor, std::uint64_t n) {
+    if (opts.trace == nullptr) return trace::kNoSpan;
+    trace::SpanAttrs a;
+    a.items = n;
+    return opts.trace->record(trace::SpanKind::kRun, trace::Unit::kHost,
+                              phase_label(name, executor), 0.0, 0.0, a);
+}
+
+inline void close_run(const ExecOptions& opts, trace::SpanId run, sim::Ticks total) {
+    if (opts.trace != nullptr && run != trace::kNoSpan) opts.trace->close(run, total);
+}
+
+/// Records a link-transfer span.
+inline void trace_transfer(const SpanCtx& tc, const std::string& name, const char* what,
+                           std::uint64_t words, std::uint64_t bytes, sim::Ticks time) {
+    if (!tc.on()) return;
+    trace::SpanAttrs a;
+    a.items = words;
+    a.bytes = bytes;
+    tc.session->record(trace::SpanKind::kTransfer, trace::Unit::kLink,
+                       phase_label(name, what), tc.at, time, a, tc.parent);
+}
+
+/// Opens a phase grouping span under `run`; closed by the caller.
+inline trace::SpanId open_phase(const ExecOptions& opts, trace::SpanId run,
+                                const std::string& name, const char* phase, trace::Unit unit,
+                                sim::Ticks start) {
+    if (opts.trace == nullptr) return trace::kNoSpan;
+    return opts.trace->record(trace::SpanKind::kPhase, unit, phase_label(name, phase), start,
+                              0.0, {}, run);
 }
 
 }  // namespace detail
@@ -261,18 +470,26 @@ ExecReport run_sequential(sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg, std::
     one_core.contention = 0.0;  // a single core does not compete with itself
     sim::CpuUnit single(one_core);
     ExecReport rep;
+    rep.trace = opts.trace;
     analysis::AnalysisReport* val = detail::analysis_sink(opts, rep);
-    rep.cpu_busy += detail::host_pre_pass(alg, data, 1);
-    rep.cpu_busy += detail::cpu_leaves(single, alg, data, opts.functional, val);
+    const trace::SpanId run = detail::open_run(opts, alg.name(), "sequential", data.size());
+    const detail::SpanCtx tc{opts.trace, run, 0.0, trace::SpanAttrs::kNoLevel};
+    rep.cpu_busy += detail::host_pre_pass(alg, data, 1, tc);
+    rep.cpu_busy +=
+        detail::cpu_leaves(single, alg, data, opts.functional, val, tc.shifted(rep.cpu_busy));
     // Internal levels, bottom-up.
     for (std::uint64_t i = L; i-- > 0;) {
         const std::uint64_t tasks = util::ipow(alg.a(), static_cast<std::uint32_t>(i));
+        const detail::SpanCtx lt = tc.shifted(rep.cpu_busy, i);
         rep.cpu_busy += opts.functional
-                            ? detail::functional_cpu_level(single, alg, data, tasks, opts, val)
-                            : detail::analytic_cpu_level(single, alg, data.size(), tasks, i);
+                            ? detail::functional_cpu_level(single, alg, data, tasks, opts, val,
+                                                           lt)
+                            : detail::analytic_cpu_level(single, alg, data.size(), tasks, i,
+                                                         lt);
         ++rep.levels_cpu;
     }
     rep.total = rep.cpu_busy;
+    detail::close_run(opts, run, rep.total);
     return rep;
 }
 
@@ -283,17 +500,23 @@ ExecReport run_multicore(sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg, std::s
     const std::uint64_t L = detail::level_count(alg, data.size());
     alg.prepare(data.size());
     ExecReport rep;
+    rep.trace = opts.trace;
     analysis::AnalysisReport* val = detail::analysis_sink(opts, rep);
-    rep.cpu_busy += detail::host_pre_pass(alg, data, cpu.params().p);
-    rep.cpu_busy += detail::cpu_leaves(cpu, alg, data, opts.functional, val);
+    const trace::SpanId run = detail::open_run(opts, alg.name(), "multicore", data.size());
+    const detail::SpanCtx tc{opts.trace, run, 0.0, trace::SpanAttrs::kNoLevel};
+    rep.cpu_busy += detail::host_pre_pass(alg, data, cpu.params().p, tc);
+    rep.cpu_busy +=
+        detail::cpu_leaves(cpu, alg, data, opts.functional, val, tc.shifted(rep.cpu_busy));
     for (std::uint64_t i = L; i-- > 0;) {
         const std::uint64_t tasks = util::ipow(alg.a(), static_cast<std::uint32_t>(i));
+        const detail::SpanCtx lt = tc.shifted(rep.cpu_busy, i);
         rep.cpu_busy += opts.functional
-                            ? detail::functional_cpu_level(cpu, alg, data, tasks, opts, val)
-                            : detail::analytic_cpu_level(cpu, alg, data.size(), tasks, i);
+                            ? detail::functional_cpu_level(cpu, alg, data, tasks, opts, val, lt)
+                            : detail::analytic_cpu_level(cpu, alg, data.size(), tasks, i, lt);
         ++rep.levels_cpu;
     }
     rep.total = rep.cpu_busy;
+    detail::close_run(opts, run, rep.total);
     return rep;
 }
 
@@ -307,8 +530,14 @@ ExecReport run_gpu(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std::span<T> dat
     alg.prepare(data.size());
     sim::Device& dev = hpu.gpu();
     ExecReport rep;
+    rep.trace = opts.trace;
     analysis::AnalysisReport* val = detail::analysis_sink(opts, rep);
-    rep.cpu_busy += detail::host_pre_pass(alg, data, hpu.params().cpu.p);
+    const trace::SpanId run = detail::open_run(opts, alg.name(), "gpu", data.size());
+    const detail::SpanCtx tc{opts.trace, run, 0.0, trace::SpanAttrs::kNoLevel};
+    rep.cpu_busy += detail::host_pre_pass(alg, data, hpu.params().cpu.p, tc);
+    // The span clock serializes pre → ship-in → kernels → ship-out, which
+    // is exactly how rep.total adds up.
+    sim::Ticks clock = rep.cpu_busy;
 
     // Functional runs materialize a real device buffer; the analytic path
     // lets the hooks operate on the host span (data is dummy there) and
@@ -322,27 +551,53 @@ ExecReport run_gpu(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std::span<T> dat
         buf->copy_to_device();
         dspan = buf->device();
     }
-    if (include_transfers) rep.transfer += hpu.transfer_time(data.size());
+    if (include_transfers) {
+        const sim::Ticks x = hpu.transfer_time(data.size());
+        detail::trace_transfer(tc.shifted(clock), alg.name(), "xfer-in", data.size(),
+                               data.size() * sizeof(T), x);
+        rep.transfer += x;
+        clock += x;
+    }
 
     if (opts.functional) {
         sim::OpCounter hook_ops;
         alg.before_gpu_levels(dspan, util::ipow(alg.a(), static_cast<std::uint32_t>(L - 1)),
                               hook_ops);
-        rep.gpu_busy += detail::hook_time(dev, hook_ops);
+        const sim::Ticks t =
+            detail::traced_hook(dev, hook_ops, alg.name(), "gpu-pre-hook", tc.shifted(clock));
+        rep.gpu_busy += t;
+        clock += t;
     } else {
-        rep.gpu_busy += detail::hook_time(dev, alg.analytic_gpu_hook_ops(data.size()));
+        const sim::Ticks t = detail::traced_hook(dev, alg.analytic_gpu_hook_ops(data.size()),
+                                                 alg.name(), "gpu-hooks", tc.shifted(clock));
+        rep.gpu_busy += t;
+        clock += t;
     }
 
-    rep.gpu_busy += detail::gpu_leaves(dev, alg, dspan, opts.functional, val);
+    {
+        const sim::Ticks t =
+            detail::gpu_leaves(dev, alg, dspan, opts.functional, val, tc.shifted(clock));
+        rep.gpu_busy += t;
+        clock += t;
+    }
     for (std::uint64_t i = L; i-- > 0;) {
         const std::uint64_t tasks = util::ipow(alg.a(), static_cast<std::uint32_t>(i));
         if (opts.functional) {
-            rep.gpu_busy += detail::functional_gpu_level(dev, alg, dspan, tasks, val);
+            sim::Ticks t =
+                detail::functional_gpu_level(dev, alg, dspan, tasks, val, tc.shifted(clock, i));
+            rep.gpu_busy += t;
+            clock += t;
             sim::OpCounter flip;
             alg.after_gpu_level(dspan, tasks, flip);
-            rep.gpu_busy += detail::hook_time(dev, flip);
+            t = detail::traced_hook(dev, flip, alg.name(), "gpu-level-hook",
+                                    tc.shifted(clock));
+            rep.gpu_busy += t;
+            clock += t;
         } else {
-            rep.gpu_busy += detail::analytic_gpu_level(dev, alg, data.size(), tasks, i);
+            const sim::Ticks t = detail::analytic_gpu_level(dev, alg, data.size(), tasks, i,
+                                                            tc.shifted(clock, i));
+            rep.gpu_busy += t;
+            clock += t;
         }
         ++rep.levels_gpu;
     }
@@ -350,10 +605,19 @@ ExecReport run_gpu(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std::span<T> dat
     if (opts.functional) {
         sim::OpCounter post_ops;
         alg.after_gpu_levels(dspan, 1, post_ops);
-        rep.gpu_busy += detail::hook_time(dev, post_ops);
+        const sim::Ticks t =
+            detail::traced_hook(dev, post_ops, alg.name(), "gpu-post-hook", tc.shifted(clock));
+        rep.gpu_busy += t;
+        clock += t;
     }
 
-    if (include_transfers) rep.transfer += hpu.transfer_time(data.size());
+    if (include_transfers) {
+        const sim::Ticks x = hpu.transfer_time(data.size());
+        detail::trace_transfer(tc.shifted(clock), alg.name(), "xfer-out", data.size(),
+                               data.size() * sizeof(T), x);
+        rep.transfer += x;
+        clock += x;
+    }
     if (opts.functional) {
         buf->copy_to_host();
         std::copy(buf->host_view().begin(), buf->host_view().end(), data.begin());
@@ -362,6 +626,7 @@ ExecReport run_gpu(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std::span<T> dat
         }
     }
     rep.total = rep.cpu_busy + rep.gpu_busy + rep.transfer;
+    detail::close_run(opts, run, rep.total);
     return rep;
 }
 

@@ -1,0 +1,31 @@
+// The one label scheme shared by timeline events, hpu::analysis findings,
+// and hpu::trace spans, so diagnostics from all three layers can be joined
+// on the label string (tests assert they match).
+//
+//   launch_label("mergesort", "gpu-level", 8)  -> "mergesort/gpu-level[8 tasks]"
+//   phase_label("mergesort", "cpu-parallel")   -> "mergesort/cpu-parallel"
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace hpu::core {
+
+/// Label of one launch/level: "<algo>/<phase>[<tasks> tasks]". Used as the
+/// owning-event name in analysis findings and as the trace span label of
+/// the same launch.
+inline std::string launch_label(const std::string& name, const char* phase,
+                                std::uint64_t tasks) {
+    std::ostringstream os;
+    os << name << '/' << phase << '[' << tasks << " tasks]";
+    return os.str();
+}
+
+/// Label of a scheduler phase: "<algo>/<phase>". Used for timeline events
+/// and trace phase/transfer spans.
+inline std::string phase_label(const std::string& name, const char* phase) {
+    return name + '/' + phase;
+}
+
+}  // namespace hpu::core

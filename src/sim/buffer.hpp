@@ -15,6 +15,7 @@
 #include <span>
 #include <vector>
 
+#include "trace/counters.hpp"
 #include "util/check.hpp"
 
 namespace hpu::sim {
@@ -125,6 +126,11 @@ public:
 
 private:
     void record(BufferOp op, std::size_t offset = 0, std::size_t count = 0) const {
+        if (op == BufferOp::kCopyToDevice || op == BufferOp::kCopyToHost) {
+            auto& ctr = trace::counters();
+            trace::count(ctr.transfers);
+            trace::count(ctr.words_transferred, count);
+        }
         if (trace_ != nullptr) {
             trace_->push_back({op, host_valid_, device_valid_, offset, count, size()});
         }

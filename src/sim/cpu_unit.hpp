@@ -10,6 +10,7 @@
 
 #include "sim/op_counter.hpp"
 #include "sim/params.hpp"
+#include "trace/counters.hpp"
 #include "util/makespan.hpp"
 #include "util/math.hpp"
 #include "util/thread_pool.hpp"
@@ -45,6 +46,7 @@ public:
         LevelResult r;
         r.tasks = n_tasks;
         if (n_tasks == 0) return r;
+        trace::count(trace::counters().cpu_levels);
         std::vector<std::uint64_t> costs(n_tasks);
         if (pool_ != nullptr && pool_->worker_count() > 0) {
             pool_->parallel_for(n_tasks, [&](std::size_t i) {

@@ -10,9 +10,11 @@
 
 #include <cstdint>
 #include <utility>
+#include <vector>
 
 #include "sim/op_counter.hpp"
 #include "sim/params.hpp"
+#include "trace/counters.hpp"
 #include "util/check.hpp"
 #include "util/math.hpp"
 
@@ -57,6 +59,17 @@ struct DeviceStats {
     OpCounter total_ops;
 };
 
+/// One SIMT wave of a launch, recorded into an optional external sink (see
+/// Device::set_wave_trace) for the hpu::trace span tracer. Purely
+/// observational: attaching a sink never changes launch timing.
+struct WaveTrace {
+    std::uint64_t first_item = 0;  ///< global id of the wave's first item
+    std::uint64_t items = 0;       ///< busy lanes in this wave (<= g)
+    Ticks duration = 0.0;          ///< wave time: max item ops / gamma
+    double max_item_ops = 0.0;     ///< the critical item's GPU op count
+    OpCounter ops;                 ///< summed charges of the wave's items
+};
+
 class Device {
 public:
     explicit Device(DeviceParams params) : params_(params) { params_.validate(); }
@@ -64,6 +77,10 @@ public:
     const DeviceParams& params() const noexcept { return params_; }
     const DeviceStats& stats() const noexcept { return stats_; }
     void reset_stats() noexcept { stats_ = DeviceStats{}; }
+
+    /// Attach (or detach, with nullptr) a per-wave sink for the next
+    /// launches. The device does not own the sink; it must outlive its use.
+    void set_wave_trace(std::vector<WaveTrace>* sink) noexcept { wave_trace_ = sink; }
 
     /// Launches `n_items` invocations of `kernel` (callable taking
     /// WorkItem&). Items run functionally on the host; virtual time follows
@@ -78,8 +95,10 @@ public:
         Ticks total = params_.launch_overhead;
         std::uint64_t id = 0;
         for (std::uint64_t w = 0; w < r.waves; ++w) {
+            const std::uint64_t wave_begin = id;
             const std::uint64_t wave_end = std::min(n_items, (w + 1) * params_.g);
             double wave_max_ops = 0.0;
+            OpCounter wave_ops;
             for (; id < wave_end; ++id) {
                 OpCounter ops;
                 WorkItem wi(id, n_items, ops);
@@ -88,14 +107,27 @@ public:
                 wave_max_ops = std::max(wave_max_ops, item_ops);
                 r.max_item_ops = std::max(r.max_item_ops, item_ops);
                 r.total_ops += ops;
+                if (wave_trace_ != nullptr) wave_ops += ops;
             }
             total += wave_max_ops / params_.gamma;
+            if (wave_trace_ != nullptr) {
+                wave_trace_->push_back({wave_begin, wave_end - wave_begin,
+                                        wave_max_ops / params_.gamma, wave_max_ops,
+                                        wave_ops});
+            }
         }
         r.time = total;
         stats_.launches += 1;
         stats_.items += n_items;
         stats_.busy_time += r.time;
         stats_.total_ops += r.total_ops;
+        auto& ctr = trace::counters();
+        trace::count(ctr.kernel_launches);
+        trace::count(ctr.waves_launched, r.waves);
+        trace::count(ctr.work_items, n_items);
+        trace::count(ctr.coalesced_transactions,
+                     util::ceil_div(r.total_ops.mem_coalesced, params_.coalesce_width));
+        trace::count(ctr.strided_transactions, r.total_ops.mem_strided);
         return r;
     }
 
@@ -110,6 +142,7 @@ public:
 private:
     DeviceParams params_;
     DeviceStats stats_;
+    std::vector<WaveTrace>* wave_trace_ = nullptr;
 };
 
 }  // namespace hpu::sim

@@ -42,9 +42,17 @@ Ticks Timeline::span_end() const noexcept {
 }
 
 void Timeline::print(std::ostream& os) const {
-    for (const Event& e : events_) {
-        os << std::setw(10) << to_string(e.kind) << "  [" << std::setw(14) << e.start << ", "
-           << std::setw(14) << e.end << ")  " << e.label << '\n';
+    // Overlapping events are legal (concurrent CPU/GPU phases) and the
+    // schedulers may record them out of chronological order; present them
+    // sorted by start, keeping recording order for ties.
+    std::vector<const Event*> ordered;
+    ordered.reserve(events_.size());
+    for (const Event& e : events_) ordered.push_back(&e);
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const Event* a, const Event* b) { return a->start < b->start; });
+    for (const Event* e : ordered) {
+        os << std::setw(10) << to_string(e->kind) << "  [" << std::setw(14) << e->start
+           << ", " << std::setw(14) << e->end << ")  " << e->label << '\n';
     }
 }
 

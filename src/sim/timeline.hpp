@@ -1,7 +1,14 @@
-// Execution timeline: an ordered log of timed events (kernel launches,
-// transfers, CPU levels) on the virtual clock. Schedulers record into a
-// Timeline so tests and benches can inspect where time went — e.g. that the
-// advanced scheduler really performs exactly two transfers (§5.2).
+// Execution timeline: a log of timed events (kernel launches, transfers,
+// CPU levels) on the virtual clock. Schedulers record into a Timeline so
+// tests and benches can inspect where time went — e.g. that the advanced
+// scheduler really performs exactly two transfers (§5.2).
+//
+// Events may overlap in virtual time and may be recorded out of
+// chronological order: the advanced hybrid records its GPU thread first and
+// then the concurrent CPU parallel phase starting back at tick 0. count /
+// total / span_end are order-independent, and print() sorts by start time.
+// For hierarchical, attributed views use hpu::trace instead; the Timeline
+// stays as the flat phase-level log.
 #pragma once
 
 #include <cstdint>
@@ -46,6 +53,8 @@ public:
 
     void clear() noexcept { events_.clear(); }
 
+    /// One line per event, in chronological (start-time) order regardless
+    /// of recording order; ties keep recording order.
     void print(std::ostream& os) const;
 
 private:

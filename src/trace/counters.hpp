@@ -1,0 +1,85 @@
+// Process-wide counters registry of hpu::trace: cheap monotonic atomics
+// incremented by the simulator (kernel launches, waves, transfers) and the
+// analysis passes (validation re-executions), independent of whether a
+// TraceSession is attached anywhere. Deliberately header-only with no
+// dependencies so sim/ and analysis/ can increment counters without a link
+// edge back into the trace library.
+//
+// Counters are process-global and monotonic; consumers interested in one
+// run take a snapshot before and after and subtract (see
+// CounterSnapshot::operator-).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace hpu::trace {
+
+/// Plain-data copy of the registry at one instant.
+struct CounterSnapshot {
+    std::uint64_t kernel_launches = 0;    ///< Device::launch calls
+    std::uint64_t waves_launched = 0;     ///< SIMT waves across all launches
+    std::uint64_t work_items = 0;         ///< work-items executed on the device
+    std::uint64_t cpu_levels = 0;         ///< CpuUnit::run_level calls
+    std::uint64_t transfers = 0;          ///< DeviceBuffer copies (either way)
+    std::uint64_t words_transferred = 0;  ///< words moved across the link
+    std::uint64_t coalesced_transactions = 0;  ///< memory transactions, coalesced
+    std::uint64_t strided_transactions = 0;    ///< memory transactions, strided
+    std::uint64_t validation_reexecutions = 0; ///< schedule-independence re-runs
+
+    CounterSnapshot operator-(const CounterSnapshot& o) const noexcept {
+        CounterSnapshot d;
+        d.kernel_launches = kernel_launches - o.kernel_launches;
+        d.waves_launched = waves_launched - o.waves_launched;
+        d.work_items = work_items - o.work_items;
+        d.cpu_levels = cpu_levels - o.cpu_levels;
+        d.transfers = transfers - o.transfers;
+        d.words_transferred = words_transferred - o.words_transferred;
+        d.coalesced_transactions = coalesced_transactions - o.coalesced_transactions;
+        d.strided_transactions = strided_transactions - o.strided_transactions;
+        d.validation_reexecutions = validation_reexecutions - o.validation_reexecutions;
+        return d;
+    }
+};
+
+/// The live registry. Relaxed ordering everywhere: counters are statistics,
+/// not synchronization.
+class CounterRegistry {
+public:
+    std::atomic<std::uint64_t> kernel_launches{0};
+    std::atomic<std::uint64_t> waves_launched{0};
+    std::atomic<std::uint64_t> work_items{0};
+    std::atomic<std::uint64_t> cpu_levels{0};
+    std::atomic<std::uint64_t> transfers{0};
+    std::atomic<std::uint64_t> words_transferred{0};
+    std::atomic<std::uint64_t> coalesced_transactions{0};
+    std::atomic<std::uint64_t> strided_transactions{0};
+    std::atomic<std::uint64_t> validation_reexecutions{0};
+
+    CounterSnapshot snapshot() const noexcept {
+        CounterSnapshot s;
+        s.kernel_launches = kernel_launches.load(std::memory_order_relaxed);
+        s.waves_launched = waves_launched.load(std::memory_order_relaxed);
+        s.work_items = work_items.load(std::memory_order_relaxed);
+        s.cpu_levels = cpu_levels.load(std::memory_order_relaxed);
+        s.transfers = transfers.load(std::memory_order_relaxed);
+        s.words_transferred = words_transferred.load(std::memory_order_relaxed);
+        s.coalesced_transactions = coalesced_transactions.load(std::memory_order_relaxed);
+        s.strided_transactions = strided_transactions.load(std::memory_order_relaxed);
+        s.validation_reexecutions = validation_reexecutions.load(std::memory_order_relaxed);
+        return s;
+    }
+};
+
+/// The one process-wide registry.
+inline CounterRegistry& counters() noexcept {
+    static CounterRegistry registry;
+    return registry;
+}
+
+/// Relaxed increment helper (reads as a verb at call sites).
+inline void count(std::atomic<std::uint64_t>& c, std::uint64_t by = 1) noexcept {
+    c.fetch_add(by, std::memory_order_relaxed);
+}
+
+}  // namespace hpu::trace

@@ -1,0 +1,115 @@
+#include "trace/export.hpp"
+
+#include <fstream>
+#include <ostream>
+
+namespace hpu::trace {
+namespace {
+
+/// Escapes a string for a JSON literal (labels are plain ASCII, but be
+/// safe about quotes/backslashes/control characters).
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+/// Track id per unit: stable small integers so Perfetto groups slices.
+int track_of(Unit u) noexcept {
+    switch (u) {
+        case Unit::kHost: return 0;
+        case Unit::kCpu: return 1;
+        case Unit::kGpu: return 2;
+        case Unit::kLink: return 3;
+    }
+    return 0;
+}
+
+void write_args(std::ostream& os, const Span& s) {
+    os << "{\"kind\":\"" << to_string(s.kind) << "\",\"span_id\":" << s.id
+       << ",\"parent\":" << s.parent;
+    if (s.attrs.level != SpanAttrs::kNoLevel) os << ",\"level\":" << s.attrs.level;
+    if (s.attrs.tasks != 0) os << ",\"tasks\":" << s.attrs.tasks;
+    if (s.attrs.items != 0) os << ",\"items\":" << s.attrs.items;
+    if (s.attrs.waves != 0) os << ",\"waves\":" << s.attrs.waves;
+    if (s.attrs.ops != 0.0) os << ",\"ops\":" << s.attrs.ops;
+    if (s.attrs.work != 0.0) os << ",\"work\":" << s.attrs.work;
+    if (s.attrs.bytes != 0) os << ",\"bytes\":" << s.attrs.bytes;
+    if (s.attrs.coalesced_transactions != 0) {
+        os << ",\"coalesced_transactions\":" << s.attrs.coalesced_transactions;
+    }
+    if (s.attrs.strided_transactions != 0) {
+        os << ",\"strided_transactions\":" << s.attrs.strided_transactions;
+    }
+    os << "}";
+}
+
+}  // namespace
+
+void export_chrome(const TraceSession& session, std::ostream& os) {
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    // Track-name metadata so Perfetto shows cpu/gpu/link instead of bare
+    // tids.
+    for (Unit u : {Unit::kHost, Unit::kCpu, Unit::kGpu, Unit::kLink}) {
+        if (!first) os << ",";
+        first = false;
+        os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":" << track_of(u)
+           << ",\"args\":{\"name\":\"" << to_string(u) << "\"}}";
+    }
+    for (const Span& s : session.spans()) {
+        os << ",{\"ph\":\"X\",\"name\":\"" << json_escape(s.label) << "\",\"cat\":\""
+           << to_string(s.kind) << "\",\"pid\":0,\"tid\":" << track_of(s.unit)
+           << ",\"ts\":" << s.start << ",\"dur\":" << s.duration() << ",\"args\":";
+        write_args(os, s);
+        os << "}";
+    }
+    os << "]}\n";
+}
+
+void export_csv(const TraceSession& session, std::ostream& os) {
+    os << "id,parent,kind,unit,label,start,end,duration,level,tasks,items,waves,ops,work,"
+          "bytes,coalesced_transactions,strided_transactions\n";
+    for (const Span& s : session.spans()) {
+        // Labels follow the launch-label scheme (no commas/quotes), so no
+        // CSV quoting is needed; assert-by-construction keeps this simple.
+        os << s.id << ',' << s.parent << ',' << to_string(s.kind) << ',' << to_string(s.unit)
+           << ',' << s.label << ',' << s.start << ',' << s.end << ',' << s.duration() << ',';
+        if (s.attrs.level != SpanAttrs::kNoLevel) os << s.attrs.level;
+        os << ',' << s.attrs.tasks << ',' << s.attrs.items << ',' << s.attrs.waves << ','
+           << s.attrs.ops << ',' << s.attrs.work << ',' << s.attrs.bytes << ','
+           << s.attrs.coalesced_transactions << ',' << s.attrs.strided_transactions << '\n';
+    }
+}
+
+bool write_chrome_file(const TraceSession& session, const std::string& path) {
+    std::ofstream f(path);
+    if (!f) return false;
+    export_chrome(session, f);
+    return static_cast<bool>(f);
+}
+
+bool write_csv_file(const TraceSession& session, const std::string& path) {
+    std::ofstream f(path);
+    if (!f) return false;
+    export_csv(session, f);
+    return static_cast<bool>(f);
+}
+
+}  // namespace hpu::trace

@@ -1,0 +1,34 @@
+// Exporters for TraceSession span trees.
+//
+//  * Chrome trace-event JSON ("JSON Array Format" with a traceEvents
+//    wrapper) — loads directly in Perfetto / chrome://tracing. Units map to
+//    tracks (tid): concurrent CPU and GPU spans of the advanced hybrid
+//    render as overlapping slices on separate tracks, and the two link
+//    transfers appear as exactly two slices on the link track. Virtual
+//    ticks are emitted as microseconds verbatim (the clock is virtual
+//    anyway; only ratios matter).
+//  * CSV — one row per span with all structured attributes, for ad-hoc
+//    analysis in a spreadsheet or pandas.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/span.hpp"
+
+namespace hpu::trace {
+
+/// Writes the session as Chrome trace-event JSON.
+void export_chrome(const TraceSession& session, std::ostream& os);
+
+/// Writes the session as CSV (header + one row per span).
+void export_csv(const TraceSession& session, std::ostream& os);
+
+/// Convenience: export_chrome into a file. Returns false (and writes
+/// nothing) when the file cannot be opened.
+bool write_chrome_file(const TraceSession& session, const std::string& path);
+
+/// Convenience: export_csv into a file.
+bool write_csv_file(const TraceSession& session, const std::string& path);
+
+}  // namespace hpu::trace

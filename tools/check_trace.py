@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Shape checker for hpu::trace Chrome trace-event exports.
+
+Validates that a --trace=<file.json> export is well-formed enough for
+Perfetto / chrome://tracing: valid JSON, the expected top-level keys, the
+four track-name metadata events, and complete ("X") events whose required
+fields are present and whose timestamps are sane. Used by CI as a smoke
+gate after running a traced bench; exits non-zero with a message on the
+first violation.
+
+Usage: tools/check_trace.py <trace.json> [--min-spans N]
+"""
+
+import argparse
+import json
+import sys
+
+TRACKS = {"host", "cpu", "gpu", "link"}
+KINDS = {"run", "phase", "level", "leaves", "wave", "transfer", "hook"}
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="Chrome trace-event JSON file to check")
+    ap.add_argument("--min-spans", type=int, default=1,
+                    help="minimum number of complete (ph=X) events required")
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {args.trace}: {e}")
+
+    if not isinstance(doc, dict):
+        fail("top level is not a JSON object")
+    if doc.get("displayTimeUnit") != "ms":
+        fail("missing displayTimeUnit == 'ms'")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("traceEvents is not a list")
+
+    tracks = {}
+    spans = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event {i} is not an object")
+        ph = ev.get("ph")
+        if ph == "M":
+            if ev.get("name") != "thread_name":
+                fail(f"metadata event {i} is not a thread_name record")
+            tracks[ev.get("tid")] = ev.get("args", {}).get("name")
+        elif ph == "X":
+            spans += 1
+            for key in ("name", "cat", "pid", "tid", "ts", "dur"):
+                if key not in ev:
+                    fail(f"complete event {i} ({ev.get('name', '?')}) lacks '{key}'")
+            if ev["cat"] not in KINDS:
+                fail(f"event {i} has unknown span kind '{ev['cat']}'")
+            if ev["ts"] < 0 or ev["dur"] < 0:
+                fail(f"event {i} ({ev['name']}) has negative ts/dur")
+            if ev["tid"] not in tracks:
+                fail(f"event {i} ({ev['name']}) targets undeclared track {ev['tid']}")
+        else:
+            fail(f"event {i} has unexpected ph '{ph}'")
+
+    if set(tracks.values()) != TRACKS:
+        fail(f"track names {sorted(tracks.values())} != {sorted(TRACKS)}")
+    if spans < args.min_spans:
+        fail(f"only {spans} spans, expected at least {args.min_spans}")
+
+    print(f"check_trace: OK: {spans} spans across {len(tracks)} tracks in {args.trace}")
+
+
+if __name__ == "__main__":
+    main()
