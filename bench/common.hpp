@@ -19,13 +19,18 @@
 //                    chrome://tracing)
 //   --utilization    derive and print the utilization / model-drift report
 //                    from the same trace
+//   --pipeline=<K>   also run the pipelined hybrid (§9) with K transfer
+//                    chunks where the bench supports it (0 = off; the
+//                    scheduler's no-win guard may still fall back to K=1)
 #pragma once
 
 #include <iostream>
 
 #include "algos/mergesort.hpp"
 #include "core/hybrid.hpp"
+#include "core/pipeline.hpp"
 #include "model/advanced.hpp"
+#include "model/pipeline.hpp"
 #include "platforms/platforms.hpp"
 #include "trace/export.hpp"
 #include "trace/utilization.hpp"
@@ -54,6 +59,13 @@ inline core::ExecOptions exec_options(const util::Cli& cli) {
 /// (the historical default, kept so unflagged runs reproduce old numbers).
 inline std::uint64_t input_seed(const util::Cli& cli, std::uint64_t n) {
     return static_cast<std::uint64_t>(cli.get_int("seed", static_cast<std::int64_t>(n)));
+}
+
+/// Requested transfer chunks from --pipeline (0 = pipelining off). Shared
+/// by every bench so the flag spells and defaults the same everywhere.
+inline std::uint64_t pipeline_chunks(const util::Cli& cli) {
+    const std::int64_t k = cli.get_int("pipeline", 0);
+    return k > 0 ? static_cast<std::uint64_t>(k) : 0;
 }
 
 /// Platforms selected by --platform (default: both).

@@ -1,5 +1,6 @@
-// Trace explorer: side-by-side observability of the basic (§5.1) and
-// advanced (§5.2) hybrid schedulers on the same mergesort run.
+// Trace explorer: side-by-side observability of the basic (§5.1),
+// advanced (§5.2), and pipelined (§9) hybrid schedulers on the same
+// mergesort run.
 //
 // Both runs record hierarchical spans (run → phase → level → wave) into
 // hpu::trace sessions. The example then
@@ -10,7 +11,9 @@
 //   2. exports both span trees as Chrome trace-event JSON, loadable in
 //      Perfetto (https://ui.perfetto.dev) or chrome://tracing, where the
 //      advanced run visibly overlaps its cpu-parallel and gpu-phase
-//      tracks between exactly two transfer slices.
+//      tracks between exactly two transfer slices, and the pipelined run
+//      shows K chunk slices on the link track riding under the first
+//      device launches.
 //
 // Build: cmake --build build && ./build/examples/trace_explorer
 // Flags: --n=<elems> --functional --csv-spans (dump raw span CSV instead
@@ -19,6 +22,7 @@
 
 #include "algos/mergesort.hpp"
 #include "core/hybrid.hpp"
+#include "core/pipeline.hpp"
 #include "model/advanced.hpp"
 #include "platforms/platforms.hpp"
 #include "trace/export.hpp"
@@ -67,11 +71,26 @@ int main(int argc, char** argv) {
     const auto adv_rep =
         core::run_advanced_hybrid(machine2, alg, std::span(adv_data), plan.alpha, y, adv);
 
+    // --- Pipelined hybrid at the same (α, y): the two bulk transfers
+    // split into chunks that overlap the first device launches.
+    sim::Hpu machine3(platforms::hpu1());
+    trace::TraceSession pip_trace;
+    core::PipelinedOptions pip;
+    pip.chunks = static_cast<std::uint64_t>(cli.get_int("pipeline", 4));
+    pip.exec.functional = functional;
+    pip.exec.trace = &pip_trace;
+    std::vector<std::int32_t> pip_data = data;
+    const auto pip_rep =
+        core::run_pipelined_hybrid(machine3, alg, std::span(pip_data), plan.alpha, y, pip);
+
     std::cout << "mergesort, n=" << n << " on " << machine.params().name
               << (functional ? " (functional)" : " (analytic)") << "\n"
               << "  basic hybrid:    total=" << basic_rep.total << " ticks\n"
               << "  advanced hybrid: total=" << adv_rep.total << " ticks  (alpha="
-              << plan.alpha << ", y=" << y << ", model speedup=" << plan.speedup << ")\n\n";
+              << plan.alpha << ", y=" << y << ", model speedup=" << plan.speedup << ")\n"
+              << "  pipelined hybrid: total=" << pip_rep.total << " ticks  (K="
+              << pip_rep.chunks << (pip_rep.chunks == 1 ? ", guard fell back" : "")
+              << ", gain=" << adv_rep.total - pip_rep.total << ")\n\n";
 
     if (cli.get_bool("csv-spans", false)) {
         trace::export_csv(adv_trace, std::cout);
@@ -82,14 +101,20 @@ int main(int argc, char** argv) {
         std::cout << "\n=== advanced hybrid — both units busy, two transfers ===\n";
         trace::derive_utilization(adv_trace, machine2.params(), alg.recurrence(), mult)
             .print(std::cout);
+        std::cout << "\n=== pipelined hybrid — transfers overlap the device launches ===\n";
+        trace::derive_utilization(pip_trace, machine3.params(), alg.recurrence(), mult)
+            .print(std::cout);
     }
 
     const char* basic_path = "trace_basic.json";
     const char* adv_path = "trace_advanced.json";
+    const char* pip_path = "trace_pipelined.json";
     if (trace::write_chrome_file(basic_trace, basic_path) &&
-        trace::write_chrome_file(adv_trace, adv_path)) {
+        trace::write_chrome_file(adv_trace, adv_path) &&
+        trace::write_chrome_file(pip_trace, pip_path)) {
         std::cout << "\nwrote " << basic_path << " (" << basic_trace.spans().size()
-                  << " spans) and " << adv_path << " (" << adv_trace.spans().size()
+                  << " spans), " << adv_path << " (" << adv_trace.spans().size()
+                  << " spans), and " << pip_path << " (" << pip_trace.spans().size()
                   << " spans) — open in https://ui.perfetto.dev\n";
     }
     return 0;

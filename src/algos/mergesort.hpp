@@ -94,14 +94,36 @@ public:
         return 3.0 / 3.5;
     }
 
-    void before_gpu_levels(std::span<T> device_data, std::uint64_t /*deepest_count*/,
-                           sim::OpCounter& /*ops*/) const override {
+    void before_gpu_levels(std::span<T> device_data, std::uint64_t deepest_count,
+                           sim::OpCounter& ops) const override {
+        // The deepest level to run merges 2·deepest_count sorted input runs.
+        dscratch_.resize(device_data.size());
+        const std::uint64_t runs_in = 2 * deepest_count;
+        cur_is_scratch_ = false;
+        // A slice too small for even one task at the deepest level runs no
+        // device levels at all — keep the identity layout.
+        if (runs_in == 0) {
+            runs_ = device_data.size();
+            return;
+        }
+        runs_ = runs_in;
         // Size-1 runs make the interleaved layout the identity — no
         // initial permutation cost, the layout simply *stays* interleaved
         // as the levels climb.
-        dscratch_.resize(device_data.size());
-        cur_is_scratch_ = false;
-        runs_ = device_data.size();
+        if (runs_in == device_data.size()) return;
+        // Mid-tree entry (the pipelined executor's merged shallow stage):
+        // the runs arrive row-major, so physically interleave them first —
+        // the inverse of the after_gpu_levels permutation, same tiled
+        // transpose price.
+        const std::uint64_t m = device_data.size() / runs_in;
+        for (std::uint64_t j = 0; j < runs_in; ++j) {
+            for (std::uint64_t k = 0; k < m; ++k) {
+                dscratch_[k * runs_in + j] = device_data[j * m + k];
+            }
+        }
+        cur_is_scratch_ = true;
+        ops.charge_mem(2 * device_data.size(), sim::Pattern::kCoalesced);
+        ops.charge_compute(device_data.size() / 4);
     }
 
     void run_device_task(std::span<T> data, std::uint64_t count, std::uint64_t j,
@@ -176,7 +198,9 @@ public:
     }
 
     sim::OpCounter analytic_gpu_hook_ops(std::uint64_t region_elems) const override {
-        // Only the final un-interleave charges (see after_gpu_levels).
+        // Transpose price of one non-identity layout hook: the final
+        // un-interleave (after_gpu_levels), and for mid-tree entries also
+        // the initial interleave (before_gpu_levels) — both cost the same.
         sim::OpCounter ops;
         ops.charge_mem(2 * region_elems, sim::Pattern::kCoalesced);
         ops.charge_compute(region_elems / 4);

@@ -15,6 +15,7 @@ const char* to_string(FindingKind k) noexcept {
         case FindingKind::kStaleHostWrite: return "stale-host-write";
         case FindingKind::kRedundantTransfer: return "redundant-transfer";
         case FindingKind::kHostWriteWhileDeviceLive: return "host-write-while-device-live";
+        case FindingKind::kInFlightRead: return "in-flight-read";
     }
     return "unknown";
 }

@@ -25,6 +25,7 @@ enum class FindingKind : std::uint8_t {
     kStaleHostWrite,     ///< host copy written over while stale (device newer)
     kRedundantTransfer,  ///< full copy to a side that is already valid
     kHostWriteWhileDeviceLive,  ///< host() taken while a device copy is live
+    kInFlightRead,  ///< kernel touched a streamed chunk before it arrived
 };
 
 const char* to_string(FindingKind k) noexcept;

@@ -8,7 +8,11 @@
 //     valid moves words the destination already has;
 //   * host-write-while-device-live (warning): host() acquired while a
 //     device copy is valid — it invalidates the device copy, which is
-//     wasteful when the caller only wanted to read (use host_view()).
+//     wasteful when the caller only wanted to read (use host_view());
+//   * in-flight-read (error): a timed device access (device_region) over a
+//     range whose streamed chunk has a later arrival tick — the kernel ran
+//     before the words crossed the link. Only streamed copies and timed
+//     accesses participate; synchronous events are untimed and exempt.
 #pragma once
 
 #include <span>

@@ -73,6 +73,9 @@ struct ExecReport {
     std::uint64_t levels_cpu = 0;
     std::uint64_t levels_gpu = 0;
     double alpha_effective = 0.0;    ///< realized CPU work ratio (advanced hybrid)
+    /// Transfer chunks actually pipelined (pipelined hybrid; 1 = the
+    /// schedule degenerated to the advanced hybrid, 0 = other executors).
+    std::uint64_t chunks = 0;
     /// Findings of the correctness passes (empty unless ExecOptions::
     /// validate was on).
     analysis::AnalysisReport analysis;

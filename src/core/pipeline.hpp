@@ -1,0 +1,378 @@
+// The pipelined hybrid scheduler (DESIGN.md §9): the advanced schedule of
+// §5.2 with its two bulk transfers split into K chunks that overlap wave
+// execution on a sim::Stream.
+//
+// The GPU thread runs in three stages:
+//
+//   stage 0 — eager input stream: the K input chunks (aligned to the
+//     transfer-level task size) are enqueued on the link at tick 0 and
+//     arrive back to back; chunk c's words land at (c+1)·λ + δ·prefix.
+//   stage 1 — chunk-local compute: as soon as a chunk has arrived and the
+//     device is free, its leaves and the deep levels L-1..d run on the
+//     chunk alone. The merge level d is the shallowest level at which the
+//     smallest chunk still fills the device (≥ g tasks); chunking shallower
+//     levels would fragment waves and inflate the makespan.
+//   stage 2 — merged shallow compute: levels d-1..y run as whole-region
+//     launches (they need data from every chunk), then the results ship
+//     back in one bulk transfer. When d = y the stage is empty and results
+//     stream back chunk by chunk instead, overlapping the last computes.
+//
+// A priori guard: the scheduler prices both the pipelined and the
+// unpipelined (K = 1) GPU thread with the same analytic arithmetic the
+// executors use and falls back to K = 1 unless pipelining strictly wins —
+// so the pipelined makespan is never worse than the advanced one (exactly,
+// in analytic mode; for uniform-cost algorithms the functional clock
+// matches). At K = 1 the schedule degenerates to the advanced hybrid's
+// exact event sequence, reproducing its makespan bit for bit.
+//
+// The CPU thread, sync point, and finish phase are the advanced hybrid's,
+// unchanged.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/hybrid.hpp"
+#include "sim/stream.hpp"
+
+namespace hpu::core {
+
+/// Knobs of the pipelined scheduler beyond (α, y).
+struct PipelinedOptions {
+    /// Requested transfer chunks K. Clamped to the transfer-level task
+    /// count of the GPU slice; the no-win guard may reduce it to 1.
+    std::uint64_t chunks = 4;
+    /// Split-level task count, as AdvancedOptions::split_tasks.
+    std::uint64_t split_tasks = 0;
+    ExecOptions exec;
+};
+
+namespace detail {
+
+/// One planned transfer chunk of the GPU slice (element offset + length).
+struct ChunkPlan {
+    std::size_t offset = 0;
+    std::uint64_t words = 0;
+};
+
+/// Splits `region` elements into at most `k` chunks, each a multiple of
+/// `quantum` (the transfer-level task size, so no task ever straddles a
+/// chunk boundary at any level the chunks execute). Leading chunks take
+/// the remainder quanta.
+inline std::vector<ChunkPlan> plan_chunks(std::uint64_t region, std::uint64_t quantum,
+                                          std::uint64_t k) {
+    const std::uint64_t slots = region / quantum;
+    k = std::clamp<std::uint64_t>(k, 1, slots);
+    std::vector<ChunkPlan> plan(k);
+    std::size_t off = 0;
+    for (std::uint64_t c = 0; c < k; ++c) {
+        const std::uint64_t words = (slots / k + (c < slots % k ? 1 : 0)) * quantum;
+        plan[c] = {off, words};
+        off += words;
+    }
+    return plan;
+}
+
+}  // namespace detail
+
+/// Pipelined hybrid scheduler at explicit (α, transfer level y, K chunks).
+/// Same contract as run_advanced_hybrid; ExecReport::chunks reports the K
+/// the guard settled on.
+template <typename T>
+ExecReport run_pipelined_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std::span<T> data,
+                                double alpha, std::uint64_t y,
+                                const PipelinedOptions& pip = {}) {
+    HPU_CHECK(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+    HPU_CHECK(pip.chunks >= 1, "need at least one chunk");
+    const auto shape = detail::shape_of(alg, data.size());
+    alg.prepare(data.size());
+    HPU_CHECK(y >= 1 && y <= shape.L, "transfer level y must be in [1, L]");
+    const ExecOptions& opts = pip.exec;
+    sim::Device& dev = hpu.gpu();
+    ExecReport rep;
+    rep.trace = opts.trace;
+    analysis::AnalysisReport* val = detail::analysis_sink(opts, rep);
+    const trace::SpanId run = detail::open_run(opts, alg.name(), "pipelined-hybrid",
+                                               data.size());
+    const sim::Ticks pre = detail::host_pre_pass(
+        alg, data, hpu.params().cpu.p,
+        detail::SpanCtx{opts.trace, run, 0.0, trace::SpanAttrs::kNoLevel});
+
+    // --- Split level: identical to the advanced hybrid.
+    std::uint64_t split_tasks = pip.split_tasks;
+    if (split_tasks == 0) {
+        split_tasks = std::max<std::uint64_t>(4 * hpu.params().cpu.p, 64);
+    }
+    std::uint64_t s = 0;
+    while (s < shape.L && shape.tasks_at(s) < split_tasks) ++s;
+    s = std::min<std::uint64_t>(s, y);
+    const std::uint64_t S = shape.tasks_at(s);
+    const std::uint64_t cpu_tasks = std::clamp<std::uint64_t>(
+        static_cast<std::uint64_t>(std::llround(alpha * static_cast<double>(S))), 1, S - 1);
+    const std::uint64_t split_elem = cpu_tasks * shape.task_size_at(s);
+    rep.alpha_effective = static_cast<double>(cpu_tasks) / static_cast<double>(S);
+
+    std::span<T> cpu_region = data.subspan(0, split_elem);
+    std::span<T> gpu_region = data.subspan(split_elem);
+    const std::uint64_t W = gpu_region.size();
+
+    // --- Chunk plan over the transfer-level quantum, and the merge level d
+    // keeping every chunk's launches saturated.
+    const std::uint64_t quantum = shape.task_size_at(y);
+    std::vector<detail::ChunkPlan> plan = detail::plan_chunks(W, quantum, pip.chunks);
+    std::uint64_t d = y;
+    if (plan.size() > 1) {
+        std::uint64_t w_min = plan.front().words;
+        for (const detail::ChunkPlan& c : plan) w_min = std::min(w_min, c.words);
+        while (d < shape.L && w_min / shape.task_size_at(d) < dev.params().g) ++d;
+    }
+
+    // --- A-priori guard: price both schedules with the analytic arithmetic
+    // the executors themselves use, and pipeline only on a strict win.
+    const auto rec = alg.recurrence();
+    const auto& link = hpu.params().link;
+    auto level_time = [&](std::uint64_t region, std::uint64_t i) -> sim::Ticks {
+        const std::uint64_t tasks = region / shape.task_size_at(i);
+        if (tasks == 0) return 0.0;
+        const double ops =
+            rec.task_cost(static_cast<double>(data.size()), static_cast<double>(i)) *
+            alg.device_ops_multiplier(dev.params());
+        return dev.uniform_launch_time(tasks, ops);
+    };
+    auto leaves_time = [&](std::uint64_t region) -> sim::Ticks {
+        const std::uint64_t count = region / alg.base_size();
+        return count == 0 ? 0.0 : dev.uniform_launch_time(count, rec.leaf_cost);
+    };
+    auto hook_est = [&](std::uint64_t region) -> sim::Ticks {
+        return detail::hook_time(dev, alg.analytic_gpu_hook_ops(region));
+    };
+    auto span_estimate = [&](const std::vector<detail::ChunkPlan>& p,
+                             std::uint64_t dd) -> sim::Ticks {
+        sim::Ticks in_end = 0.0, free = 0.0;
+        std::vector<sim::Ticks> ends(p.size(), 0.0);
+        for (std::size_t c = 0; c < p.size(); ++c) {
+            in_end += link.transfer_time(p[c].words);
+            sim::Ticks compute = dd < shape.L ? hook_est(p[c].words) : 0.0;
+            compute += leaves_time(p[c].words);
+            for (std::uint64_t i = shape.L; i-- > dd;) compute += level_time(p[c].words, i);
+            free = std::max(in_end, free) + compute;
+            ends[c] = free;
+        }
+        if (dd > y) {
+            sim::Ticks merged = dd < shape.L ? hook_est(W) : 0.0;
+            for (std::uint64_t i = dd; i-- > y;) merged += level_time(W, i);
+            merged += hook_est(W);  // final un-interleave (y < dd <= L)
+            return std::max(free + merged, in_end) + link.transfer_time(W);
+        }
+        sim::Ticks cursor = in_end;
+        for (std::size_t c = 0; c < p.size(); ++c) {
+            cursor = std::max(ends[c], cursor) + link.transfer_time(p[c].words);
+        }
+        return cursor;
+    };
+    if (plan.size() > 1) {
+        const std::vector<detail::ChunkPlan> mono{{0, W}};
+        if (!(span_estimate(plan, d) < span_estimate(mono, y))) {
+            plan = mono;
+            d = y;
+        }
+    }
+    const std::uint64_t K = plan.size();
+    rep.chunks = K;
+
+    // --- GPU thread. Timeline clocks start at 0 (historical convention,
+    // as the advanced hybrid); spans start at pre.
+    const trace::SpanId gphase =
+        detail::open_phase(opts, run, alg.name(), "gpu-phase", trace::Unit::kGpu, pre);
+    const detail::SpanCtx gtc{opts.trace, gphase, pre, trace::SpanAttrs::kNoLevel};
+    std::optional<sim::DeviceBuffer<T>> buf;
+    std::vector<sim::BufferEvent> buf_events;
+    if (opts.functional) {
+        buf.emplace(std::vector<T>(gpu_region.begin(), gpu_region.end()));
+        if (val != nullptr) buf->set_trace(&buf_events);
+    }
+    sim::Stream stream(link, &hpu.timeline());
+
+    // Stage 0: eager input stream — every chunk enqueued at tick 0.
+    std::vector<sim::StreamEvent> arrived(K);
+    for (std::uint64_t c = 0; c < K; ++c) {
+        arrived[c] = stream.push_to_device(phase_label(alg.name(), "xfer-in-chunk"),
+                                           plan[c].words, plan[c].offset, 0.0);
+        const sim::StreamChunk& ch = stream.chunks().back();
+        if (opts.functional) buf->stream_to_device(ch.offset, ch.words, ch.start, ch.end);
+        detail::trace_transfer(gtc.shifted(ch.start), alg.name(), "xfer-in-chunk", ch.words,
+                               ch.words * sizeof(T), ch.duration());
+    }
+
+    // Stage 1: chunk-local leaves + deep levels, double-buffered against
+    // the stream — each chunk starts at max(arrival, device free).
+    sim::Ticks gpu_kernels = 0.0;
+    sim::Ticks gpu_free = 0.0;
+    std::vector<sim::Ticks> comp_end(K, 0.0);
+    for (std::uint64_t c = 0; c < K; ++c) {
+        const sim::Ticks at = arrived[c].wait(gpu_free);
+        std::span<T> dspan = opts.functional
+                                 ? buf->device_region(plan[c].offset, plan[c].words, at)
+                                 : gpu_region.subspan(plan[c].offset, plan[c].words);
+        sim::Ticks k = 0.0;
+        if (opts.functional) {
+            sim::OpCounter hook;
+            alg.before_gpu_levels(dspan, plan[c].words / shape.task_size_at(shape.L - 1),
+                                  hook);
+            k += detail::traced_hook(dev, hook, alg.name(), "gpu-pre-hook",
+                                     gtc.shifted(at + k));
+        } else if (d < shape.L) {
+            // Hook costs apply only when device levels actually execute.
+            k += detail::traced_hook(dev, alg.analytic_gpu_hook_ops(plan[c].words),
+                                     alg.name(), "gpu-hooks", gtc.shifted(at + k));
+        }
+        k += detail::gpu_leaves(dev, alg, dspan, opts.functional, val, gtc.shifted(at + k));
+        for (std::uint64_t i = shape.L; i-- > d;) {
+            const std::uint64_t tasks = plan[c].words / shape.task_size_at(i);
+            if (tasks == 0) continue;
+            if (opts.functional) {
+                k += detail::functional_gpu_level(dev, alg, dspan, tasks, val,
+                                                  gtc.shifted(at + k, i));
+                sim::OpCounter flip;
+                alg.after_gpu_level(dspan, tasks, flip);
+                k += detail::traced_hook(dev, flip, alg.name(), "gpu-level-hook",
+                                         gtc.shifted(at + k));
+            } else {
+                k += detail::analytic_gpu_level(dev, alg, data.size(), tasks, i,
+                                                gtc.shifted(at + k, i));
+            }
+            if (c == 0) ++rep.levels_gpu;
+        }
+        if (opts.functional) {
+            sim::OpCounter post;
+            alg.after_gpu_levels(dspan, plan[c].words / shape.task_size_at(d), post);
+            k += detail::traced_hook(dev, post, alg.name(), "gpu-post-hook",
+                                     gtc.shifted(at + k));
+        }
+        hpu.timeline().record(sim::EventKind::kGpuKernel,
+                              launch_label(alg.name(), "gpu-chunk", plan[c].words), at, k);
+        comp_end[c] = at + k;
+        gpu_free = comp_end[c];
+        gpu_kernels += k;
+    }
+
+    // Stage 2: merged shallow levels d-1..y over the whole region.
+    if (d > y) {
+        const sim::Ticks at = gpu_free;
+        std::span<T> dspan =
+            opts.functional ? buf->device_region(0, W, at) : gpu_region;
+        sim::Ticks k = 0.0;
+        if (opts.functional) {
+            sim::OpCounter hook;
+            alg.before_gpu_levels(dspan, W / shape.task_size_at(d - 1), hook);
+            k += detail::traced_hook(dev, hook, alg.name(), "gpu-merge-hook",
+                                     gtc.shifted(at + k));
+        } else if (d < shape.L) {
+            k += detail::traced_hook(dev, alg.analytic_gpu_hook_ops(W), alg.name(),
+                                     "gpu-merge-hook", gtc.shifted(at + k));
+        }
+        for (std::uint64_t i = d; i-- > y;) {
+            const std::uint64_t tasks = W / shape.task_size_at(i);
+            if (tasks == 0) continue;
+            if (opts.functional) {
+                k += detail::functional_gpu_level(dev, alg, dspan, tasks, val,
+                                                  gtc.shifted(at + k, i));
+                sim::OpCounter flip;
+                alg.after_gpu_level(dspan, tasks, flip);
+                k += detail::traced_hook(dev, flip, alg.name(), "gpu-level-hook",
+                                         gtc.shifted(at + k));
+            } else {
+                k += detail::analytic_gpu_level(dev, alg, data.size(), tasks, i,
+                                                gtc.shifted(at + k, i));
+            }
+            ++rep.levels_gpu;
+        }
+        if (opts.functional) {
+            sim::OpCounter post;
+            alg.after_gpu_levels(dspan, W / shape.task_size_at(y), post);
+            k += detail::traced_hook(dev, post, alg.name(), "gpu-post-hook",
+                                     gtc.shifted(at + k));
+        } else {
+            k += detail::traced_hook(dev, alg.analytic_gpu_hook_ops(W), alg.name(),
+                                     "gpu-post-hook", gtc.shifted(at + k));
+        }
+        hpu.timeline().record(sim::EventKind::kGpuKernel,
+                              phase_label(alg.name(), "gpu-merge"), at, k);
+        gpu_free = at + k;
+        gpu_kernels += k;
+    }
+    rep.gpu_busy = gpu_kernels;
+
+    // Results retrieval: one bulk transfer after the merged stage, or
+    // per-chunk streaming overlapped with the last computes when d = y.
+    sim::Ticks gpu_clock = 0.0;
+    if (d > y) {
+        const sim::StreamEvent done =
+            stream.push_to_host(phase_label(alg.name(), "xfer-out"), W, 0, gpu_free);
+        const sim::StreamChunk& ch = stream.chunks().back();
+        if (opts.functional) buf->stream_to_host(0, W, ch.start, ch.end);
+        detail::trace_transfer(gtc.shifted(ch.start), alg.name(), "xfer-out", W,
+                               W * sizeof(T), ch.duration());
+        gpu_clock = done.when;
+    } else {
+        for (std::uint64_t c = 0; c < K; ++c) {
+            const sim::StreamEvent done =
+                stream.push_to_host(phase_label(alg.name(), "xfer-out-chunk"),
+                                    plan[c].words, plan[c].offset, comp_end[c]);
+            const sim::StreamChunk& ch = stream.chunks().back();
+            if (opts.functional) buf->stream_to_host(ch.offset, ch.words, ch.start, ch.end);
+            detail::trace_transfer(gtc.shifted(ch.start), alg.name(), "xfer-out-chunk",
+                                   ch.words, ch.words * sizeof(T), ch.duration());
+            gpu_clock = done.when;
+        }
+    }
+    rep.transfer = stream.busy();
+    if (opts.trace != nullptr) opts.trace->close(gphase, pre + gpu_clock);
+    if (opts.functional) {
+        std::copy(buf->host_view().begin(), buf->host_view().end(), gpu_region.begin());
+        if (val != nullptr) {
+            analysis::lint_residency(buf_events, alg.name() + "/device-buffer", *val);
+        }
+    }
+
+    // --- CPU thread (concurrent): identical to the advanced hybrid.
+    const trace::SpanId cphase =
+        detail::open_phase(opts, run, alg.name(), "cpu-parallel", trace::Unit::kCpu, pre);
+    const detail::SpanCtx ctc{opts.trace, cphase, pre, trace::SpanAttrs::kNoLevel};
+    sim::Ticks cpu_clock = detail::cpu_leaves(hpu.cpu(), alg, cpu_region, opts.functional,
+                                              val, ctc);
+    cpu_clock += detail::cpu_levels(hpu.cpu(), alg, cpu_region, data.size(), shape.L - 1, s,
+                                    opts, &rep.levels_cpu, val, ctc.shifted(cpu_clock));
+    rep.cpu_busy = cpu_clock;
+    hpu.timeline().record(sim::EventKind::kCpuLevel, phase_label(alg.name(), "cpu-parallel"),
+                          0.0, cpu_clock);
+    if (opts.trace != nullptr) opts.trace->close(cphase, pre + cpu_clock);
+
+    // --- Sync point and finish phase: the advanced hybrid's, unchanged.
+    const sim::Ticks sync = std::max(gpu_clock, cpu_clock);
+    const trace::SpanId fphase =
+        detail::open_phase(opts, run, alg.name(), "finish", trace::Unit::kCpu, pre + sync);
+    const detail::SpanCtx ftc{opts.trace, fphase, pre + sync, trace::SpanAttrs::kNoLevel};
+    sim::Ticks fin = 0.0;
+    if (y > s) {
+        fin += detail::cpu_levels(hpu.cpu(), alg, gpu_region, data.size(), y - 1, s, opts,
+                                  &rep.levels_cpu, val, ftc);
+    }
+    if (s > 0) {
+        fin += detail::cpu_levels(hpu.cpu(), alg, data, data.size(), s - 1, std::uint64_t{0},
+                                  opts, &rep.levels_cpu, val, ftc.shifted(fin));
+    }
+    rep.finish = fin;
+    hpu.timeline().record(sim::EventKind::kCpuLevel, phase_label(alg.name(), "finish"), sync,
+                          fin);
+    if (opts.trace != nullptr) opts.trace->close(fphase, pre + sync + fin);
+    rep.total = pre + sync + fin;
+    detail::close_run(opts, run, rep.total);
+    return rep;
+}
+
+}  // namespace hpu::core

@@ -24,13 +24,13 @@ double AdvancedModel::alpha_min() const {
     return std::min(1.0, static_cast<double>(hw_.cpu.p) / leaves_);
 }
 
-double AdvancedModel::level_sum(double y, bool gpu_times, double alpha) const {
+double AdvancedModel::level_sum(double y, bool gpu_times, double beta) const {
     if (y >= levels_) return 0.0;
     y = std::max(y, 0.0);
     const double g = static_cast<double>(hw_.gpu.g);
     auto term = [&](double i) {
         if (!gpu_times) return rec_.level_work(n_, i);
-        const double tasks = (1.0 - alpha) * std::pow(rec_.a, i);
+        const double tasks = beta * std::pow(rec_.a, i);
         return std::max(tasks / g, 1.0) * rec_.task_cost(n_, i) / hw_.gpu.gamma;
     };
     double sum = 0.0;
@@ -64,11 +64,15 @@ double AdvancedModel::gpu_saturated_time(double alpha) const {
 
 double AdvancedModel::gpu_time(double alpha, double y) const {
     HPU_CHECK(alpha >= 0.0 && alpha < 1.0, "alpha must be in [0, 1)");
+    return gpu_time_for_share(1.0 - alpha, y);
+}
+
+double AdvancedModel::gpu_time_for_share(double beta, double y) const {
+    HPU_CHECK(beta > 0.0 && beta <= 1.0, "device share must be in (0, 1]");
     const double g = static_cast<double>(hw_.gpu.g);
-    const double beta = 1.0 - alpha;
     const double leaves_time =
         std::max(beta * leaves_ / g, 1.0) * rec_.leaf_cost / hw_.gpu.gamma;
-    return leaves_time + level_sum(y, /*gpu_times=*/true, alpha);
+    return leaves_time + level_sum(y, /*gpu_times=*/true, beta);
 }
 
 double AdvancedModel::y_of_alpha(double alpha) const {

@@ -54,6 +54,12 @@ public:
     /// covering all three saturation cases via a per-level max.
     double gpu_time(double alpha, double y) const;
 
+    /// T_g for an explicit device share `beta` ∈ (0, 1] of the leaves and
+    /// of every level up to y — gpu_time(α, y) is gpu_time_for_share(1−α,
+    /// y). The pipelined model (model/pipeline.hpp) prices each of its K
+    /// chunks as a β/K share via this entry point.
+    double gpu_time_for_share(double beta, double y) const;
+
     /// y(α): the level the GPU reaches when the parallel phase ends —
     /// the solution of T_g(α, y) = T_c(α), clamped to [0, levels].
     double y_of_alpha(double alpha) const;
@@ -87,7 +93,10 @@ public:
 private:
     /// Work of all levels in [y, levels) with linear interpolation at the
     /// fractional boundary, plus nothing for leaves (handled separately).
-    double level_sum(double y, bool gpu_times, double alpha) const;
+    /// With gpu_times, each level is priced as the device share `beta`
+    /// climbing it (per-level saturation max); otherwise plain work sums
+    /// (beta unused).
+    double level_sum(double y, bool gpu_times, double beta) const;
 
     sim::HpuParams hw_;
     Recurrence rec_;

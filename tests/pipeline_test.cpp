@@ -1,0 +1,355 @@
+// The pipelined hybrid (DESIGN.md §9) and its transfer engine:
+//  * sim::Stream FIFO arithmetic on the virtual clock;
+//  * K = 1 reproduces the advanced hybrid's makespan exactly (same float
+//    operations in the same order — EXPECT_EQ, not NEAR);
+//  * the no-win guard keeps the pipelined schedule never worse than the
+//    advanced one across the fig8 size sweep, and strictly better at the
+//    two largest (transfer-bound) sizes;
+//  * functional and analytic clocks agree, and the functional run sorts;
+//  * the PipelinedModel's overlap formula tracks the executor within a
+//    drift bound, and its K = 1 degeneration is exact;
+//  * the residency lint flags kernels touching streamed chunks that have
+//    not arrived (kInFlightRead), and a validated pipelined run is clean;
+//  * the trace records one transfer span per streamed chunk, nested under
+//    the gpu phase span.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "algos/mergesort.hpp"
+#include "analysis/residency.hpp"
+#include "core/pipeline.hpp"
+#include "model/pipeline.hpp"
+#include "platforms/platforms.hpp"
+#include "sim/stream.hpp"
+#include "util/rng.hpp"
+
+namespace hpu::core {
+namespace {
+
+TEST(Stream, FifoSchedulingArithmetic) {
+    sim::LinkParams link;
+    link.lambda = 100.0;
+    link.delta = 2.0;
+    sim::Stream s(link);
+    // Chunk ready at 0: starts immediately, occupies [0, 120).
+    const auto e0 = s.push_to_device("a", 10, 0, 0.0);
+    EXPECT_DOUBLE_EQ(e0.when, 120.0);
+    // Ready at 50 but the link is busy until 120: queued 70 ticks.
+    const auto e1 = s.push_to_device("b", 5, 10, 50.0);
+    EXPECT_DOUBLE_EQ(e1.when, 230.0);
+    EXPECT_DOUBLE_EQ(s.chunks()[1].queue_delay(), 70.0);
+    // Ready long after the link drained: the link waits on the producer.
+    const auto e2 = s.push_to_host("c", 20, 0, 500.0);
+    EXPECT_DOUBLE_EQ(e2.when, 640.0);
+    EXPECT_DOUBLE_EQ(s.free_at(), 640.0);
+    EXPECT_DOUBLE_EQ(s.sync().when, 640.0);
+    // busy() is occupied time only — the [230, 500) idle gap is excluded.
+    EXPECT_DOUBLE_EQ(s.busy(), 120.0 + 110.0 + 140.0);
+    EXPECT_TRUE(e0.done(120.0));
+    EXPECT_FALSE(e2.done(120.0));
+    EXPECT_DOUBLE_EQ(e0.wait(130.0), 130.0);
+    EXPECT_DOUBLE_EQ(e2.wait(130.0), 640.0);
+    ASSERT_EQ(s.chunks().size(), 3u);
+    EXPECT_TRUE(s.chunks()[0].to_device);
+    EXPECT_FALSE(s.chunks()[2].to_device);
+}
+
+TEST(PipelinedHybrid, K1ReproducesAdvancedExactly) {
+    algos::MergesortCoalesced<std::int32_t> alg;
+    const std::uint64_t n = 1ull << 14;
+    for (const auto& spec : platforms::all()) {
+        for (const bool functional : {true, false}) {
+            SCOPED_TRACE(::testing::Message() << spec.name << (functional ? " functional"
+                                                                          : " analytic"));
+            std::vector<std::int32_t> base(n);
+            if (functional) {
+                util::Rng rng(7);
+                base = rng.int_vector(n, 0, static_cast<std::int64_t>(2 * n));
+            }
+            AdvancedOptions adv;
+            adv.exec.functional = functional;
+            sim::Hpu ha(spec.params);
+            auto da = base;
+            const auto a = run_advanced_hybrid(ha, alg, std::span(da), 0.3, 8, adv);
+
+            PipelinedOptions pip;
+            pip.chunks = 1;
+            pip.exec.functional = functional;
+            sim::Hpu hp(spec.params);
+            auto dp = base;
+            const auto p = run_pipelined_hybrid(hp, alg, std::span(dp), 0.3, 8, pip);
+
+            // Bit-for-bit: the K = 1 schedule is the advanced schedule.
+            EXPECT_EQ(p.total, a.total);
+            EXPECT_EQ(p.cpu_busy, a.cpu_busy);
+            EXPECT_EQ(p.gpu_busy, a.gpu_busy);
+            EXPECT_EQ(p.transfer, a.transfer);
+            EXPECT_EQ(p.finish, a.finish);
+            EXPECT_EQ(p.chunks, 1u);
+            if (functional) EXPECT_EQ(dp, da);
+        }
+    }
+}
+
+TEST(PipelinedHybrid, GuardKeepsPipelineNeverWorseAcrossSizes) {
+    algos::MergesortCoalesced<std::int32_t> alg;
+    for (const auto& spec : platforms::all()) {
+        for (int lg = 10; lg <= 24; lg += 2) {
+            const std::uint64_t n = 1ull << lg;
+            model::AdvancedModel m(spec.params, alg.recurrence(), static_cast<double>(n));
+            const auto opt = m.optimize();
+            const auto y = std::clamp<std::uint64_t>(
+                static_cast<std::uint64_t>(std::llround(opt.y)), 1,
+                static_cast<std::uint64_t>(lg));
+            ExecOptions opts;
+            opts.functional = false;
+            std::vector<std::int32_t> data(n);
+            AdvancedOptions adv;
+            adv.exec = opts;
+            sim::Hpu ha(spec.params);
+            const auto a = run_advanced_hybrid(ha, alg, std::span(data), opt.alpha, y, adv);
+            for (const std::uint64_t k : {2ull, 4ull, 8ull}) {
+                SCOPED_TRACE(::testing::Message()
+                             << spec.name << " lg=" << lg << " K=" << k);
+                PipelinedOptions pip;
+                pip.chunks = k;
+                pip.exec = opts;
+                sim::Hpu hp(spec.params);
+                const auto p =
+                    run_pipelined_hybrid(hp, alg, std::span(data), opt.alpha, y, pip);
+                // The guard prices both schedules with the executor's own
+                // arithmetic, so in analytic mode "never worse" is exact.
+                EXPECT_LE(p.total, a.total * (1.0 + 1e-12) + 1e-6);
+            }
+        }
+    }
+}
+
+TEST(PipelinedHybrid, StrictOverlapWinAtTransferBoundSizes) {
+    algos::MergesortCoalesced<std::int32_t> alg;
+    for (const auto& spec : platforms::all()) {
+        for (const int lg : {22, 24}) {
+            const std::uint64_t n = 1ull << lg;
+            model::AdvancedModel m(spec.params, alg.recurrence(), static_cast<double>(n));
+            const auto opt = m.optimize();
+            const auto y = std::clamp<std::uint64_t>(
+                static_cast<std::uint64_t>(std::llround(opt.y)), 1,
+                static_cast<std::uint64_t>(lg));
+            ExecOptions opts;
+            opts.functional = false;
+            std::vector<std::int32_t> data(n);
+            AdvancedOptions adv;
+            adv.exec = opts;
+            sim::Hpu ha(spec.params);
+            const auto a = run_advanced_hybrid(ha, alg, std::span(data), opt.alpha, y, adv);
+            for (const std::uint64_t k : {4ull, 8ull}) {
+                SCOPED_TRACE(::testing::Message()
+                             << spec.name << " lg=" << lg << " K=" << k);
+                PipelinedOptions pip;
+                pip.chunks = k;
+                pip.exec = opts;
+                sim::Hpu hp(spec.params);
+                const auto p =
+                    run_pipelined_hybrid(hp, alg, std::span(data), opt.alpha, y, pip);
+                EXPECT_LT(p.total, a.total);
+                EXPECT_EQ(p.chunks, k);
+            }
+        }
+    }
+}
+
+TEST(PipelinedHybrid, FunctionalMatchesAnalyticAndSorts) {
+    algos::MergesortCoalesced<std::int32_t> alg;
+    const std::uint64_t n = 1ull << 15;
+    util::Rng rng(11);
+    auto data = rng.int_vector(n, 0, static_cast<std::int64_t>(2 * n));
+    auto expect = data;
+    std::sort(expect.begin(), expect.end());
+
+    PipelinedOptions fun;
+    fun.chunks = 4;
+    fun.exec.functional = true;
+    sim::Hpu hf(platforms::hpu1());
+    const auto f = run_pipelined_hybrid(hf, alg, std::span(data), 0.3, 8, fun);
+    EXPECT_EQ(data, expect);
+
+    PipelinedOptions ana;
+    ana.chunks = 4;
+    ana.exec.functional = false;
+    std::vector<std::int32_t> blank(n);
+    sim::Hpu han(platforms::hpu1());
+    const auto a = run_pipelined_hybrid(han, alg, std::span(blank), 0.3, 8, ana);
+    // Uniform-cost algorithm: the two clocks price every launch the same.
+    EXPECT_NEAR(f.total, a.total, 1e-9 * a.total);
+    EXPECT_EQ(f.chunks, a.chunks);
+}
+
+TEST(PipelinedModel, K1DegenerationIsExactAndGainNonNegative) {
+    algos::MergesortCoalesced<std::int32_t> alg;
+    for (const auto& spec : platforms::all()) {
+        const double n = static_cast<double>(1ull << 22);
+        model::PipelinedModel pm(spec.params, alg.recurrence(), n);
+        pm.set_device_ops_multiplier(alg.device_ops_multiplier(spec.params.gpu));
+        const double mult = alg.device_ops_multiplier(spec.params.gpu);
+        for (const double alpha : {0.2, 0.35, 0.5}) {
+            for (const double y : {6.0, 9.0, 12.0}) {
+                SCOPED_TRACE(::testing::Message()
+                             << spec.name << " alpha=" << alpha << " y=" << y);
+                const double beta = 1.0 - alpha;
+                const double w = beta * n;
+                const double x = spec.params.link.lambda + spec.params.link.delta * w;
+                const double expect1 =
+                    x + mult * pm.advanced().gpu_time_for_share(beta, y) + x;
+                EXPECT_DOUBLE_EQ(pm.gpu_span(alpha, y, 1), expect1);
+                for (const std::uint64_t k : {2ull, 4ull, 8ull}) {
+                    const double d = pm.merge_level(alpha, y, k);
+                    EXPECT_GE(d, y);
+                    EXPECT_LE(d, pm.advanced().levels());
+                    const auto p = pm.predict_at(alpha, y, k);
+                    EXPECT_GE(p.pipeline_gain, -1e-9);
+                    EXPECT_LE(p.total_time, p.advanced_total + 1e-9);
+                    EXPECT_TRUE(p.chunks_effective == 1 || p.chunks_effective == k);
+                }
+            }
+        }
+    }
+}
+
+TEST(PipelinedModel, OverlapFormulaTracksExecutor) {
+    algos::MergesortCoalesced<std::int32_t> alg;
+    for (const auto& spec : platforms::all()) {
+        for (const int lg : {20, 22}) {
+            SCOPED_TRACE(::testing::Message() << spec.name << " lg=" << lg);
+            const std::uint64_t n = 1ull << lg;
+            model::PipelinedModel pm(spec.params, alg.recurrence(), static_cast<double>(n));
+            pm.set_device_ops_multiplier(alg.device_ops_multiplier(spec.params.gpu));
+            const auto opt = pm.advanced().optimize();
+            const auto y = std::clamp<std::uint64_t>(
+                static_cast<std::uint64_t>(std::llround(opt.y)), 1,
+                static_cast<std::uint64_t>(lg));
+            const std::uint64_t k = 8;
+            const auto p = pm.predict_at(opt.alpha, static_cast<double>(y), k);
+
+            ExecOptions opts;
+            opts.functional = false;
+            std::vector<std::int32_t> data(n);
+            PipelinedOptions pip;
+            pip.chunks = k;
+            pip.exec = opts;
+            sim::Hpu hp(spec.params);
+            const auto rep = run_pipelined_hybrid(hp, alg, std::span(data), opt.alpha, y, pip);
+            AdvancedOptions adv;
+            adv.exec = opts;
+            sim::Hpu ha(spec.params);
+            const auto arep =
+                run_advanced_hybrid(ha, alg, std::span(data), opt.alpha, y, adv);
+
+            // The continuous model vs the wave-quantized executor: bounded
+            // drift on the parallel phase (mergesort has no pre pass, so
+            // total − finish is the parallel span) and on the totals.
+            const double measured = rep.total - rep.finish;
+            const double predicted = p.total_time - p.finish_time;
+            EXPECT_LT(std::abs(predicted - measured) / measured, 0.15);
+            EXPECT_LT(std::abs(p.total_time - rep.total) / rep.total, 0.15);
+            EXPECT_LT(std::abs(p.advanced_total - arep.total) / arep.total, 0.15);
+            // The modelled overlap gain and the simulated one agree in sign
+            // and within the same drift envelope.
+            const double sim_gain = arep.total - rep.total;
+            EXPECT_GE(sim_gain, 0.0);
+            EXPECT_LT(std::abs(p.pipeline_gain - sim_gain) / rep.total, 0.15);
+        }
+    }
+}
+
+TEST(PipelinedAnalysis, InFlightReadFlaggedAndValidatedRunClean) {
+    // Synthetic log: a kernel touches a streamed chunk 200 ticks before it
+    // arrives.
+    std::vector<sim::BufferEvent> log(2);
+    log[0].op = sim::BufferOp::kCopyToDevice;
+    log[0].offset = 0;
+    log[0].count = 100;
+    log[0].size = 200;
+    log[0].start = 0.0;
+    log[0].ready = 500.0;
+    log[1].op = sim::BufferOp::kDeviceMut;
+    log[1].device_valid_before = true;
+    log[1].offset = 0;
+    log[1].count = 100;
+    log[1].size = 200;
+    log[1].start = 300.0;
+    log[1].ready = 300.0;
+    analysis::AnalysisReport bad;
+    analysis::lint_residency(log, "test-buffer", bad);
+    EXPECT_TRUE(bad.has(analysis::FindingKind::kInFlightRead));
+    EXPECT_FALSE(bad.clean());
+
+    // Same kernel sequenced on the chunk's arrival: clean.
+    log[1].start = 600.0;
+    log[1].ready = 600.0;
+    analysis::AnalysisReport good;
+    analysis::lint_residency(log, "test-buffer", good);
+    EXPECT_FALSE(good.has(analysis::FindingKind::kInFlightRead));
+
+    // Integration: a validated functional pipelined run reports no
+    // findings — its launches are sequenced on the stream's events.
+    algos::MergesortCoalesced<std::int32_t> alg;
+    const std::uint64_t n = 1ull << 14;
+    util::Rng rng(5);
+    auto data = rng.int_vector(n, 0, static_cast<std::int64_t>(2 * n));
+    PipelinedOptions pip;
+    pip.chunks = 4;
+    pip.exec.functional = true;
+    pip.exec.validate = true;
+    sim::Hpu h(platforms::hpu1());
+    const auto rep = run_pipelined_hybrid(h, alg, std::span(data), 0.3, 8, pip);
+    EXPECT_FALSE(rep.analysis.has(analysis::FindingKind::kInFlightRead));
+    EXPECT_TRUE(rep.analysis.clean()) << rep.analysis.summary();
+}
+
+TEST(PipelinedTrace, OneTransferSpanPerChunkNestedUnderGpuPhase) {
+    algos::MergesortCoalesced<std::int32_t> alg;
+    const std::uint64_t n = 1ull << 22;
+    model::AdvancedModel m(platforms::hpu1(), alg.recurrence(),
+                           static_cast<double>(n));
+    const auto opt = m.optimize();
+    const auto y = std::clamp<std::uint64_t>(
+        static_cast<std::uint64_t>(std::llround(opt.y)), 1, std::uint64_t{22});
+    trace::TraceSession ts;
+    PipelinedOptions pip;
+    pip.chunks = 4;
+    pip.exec.functional = false;
+    pip.exec.trace = &ts;
+    std::vector<std::int32_t> data(n);
+    sim::Hpu h(platforms::hpu1());
+    const auto rep = run_pipelined_hybrid(h, alg, std::span(data), opt.alpha, y, pip);
+    ASSERT_EQ(rep.chunks, 4u);
+
+    std::vector<const trace::Span*> chunks_in;
+    const trace::Span* out = nullptr;
+    for (const trace::Span& s : ts.spans()) {
+        if (s.kind != trace::SpanKind::kTransfer) continue;
+        if (s.label.find("xfer-in-chunk") != std::string::npos) chunks_in.push_back(&s);
+        if (s.label.find("xfer-out") != std::string::npos) out = &s;
+    }
+    ASSERT_EQ(chunks_in.size(), 4u);
+    ASSERT_NE(out, nullptr);
+    const trace::Span& phase = ts.span(chunks_in.front()->parent);
+    EXPECT_EQ(phase.kind, trace::SpanKind::kPhase);
+    EXPECT_NE(phase.label.find("gpu-phase"), std::string::npos);
+    sim::Ticks prev_end = phase.start;
+    for (const trace::Span* c : chunks_in) {
+        EXPECT_EQ(c->parent, chunks_in.front()->parent);
+        // Chunks ride the link back to back, inside the phase interval.
+        EXPECT_GE(c->start, prev_end - 1e-9);
+        EXPECT_LE(c->end, phase.end + 1e-9);
+        prev_end = c->end;
+    }
+    EXPECT_LE(out->end, phase.end + 1e-9);
+}
+
+}  // namespace
+}  // namespace hpu::core

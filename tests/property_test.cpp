@@ -1,0 +1,226 @@
+// Property-based parity harness: seeded random D&C instances (algorithm,
+// input size, platform, scheduler knobs) run through every executor in
+// both functional and analytic mode. Two properties must hold for every
+// instance:
+//  * bit-identical outputs — every functional executor produces exactly
+//    the sequential run's array (and the ground truth: sorted order for
+//    the mergesorts, the fold value for the reductions);
+//  * conserved total work — summing the task counts of the recorded
+//    level/leaves spans across all units reconstructs the full tree:
+//    2^i tasks at level i and n / base leaf blocks, however the schedule
+//    split the array.
+// Failures print the reproducing case seed via SCOPED_TRACE.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "algos/binary_reduce.hpp"
+#include "algos/mergesort.hpp"
+#include "algos/mergesort_blocked.hpp"
+#include "core/hybrid.hpp"
+#include "core/pipeline.hpp"
+#include "platforms/platforms.hpp"
+#include "trace/span.hpp"
+
+namespace hpu::core {
+namespace {
+
+/// One randomized instance: what to run and what the truth is.
+struct Instance {
+    std::uint64_t seed = 0;
+    std::unique_ptr<LevelAlgorithm<std::int32_t>> alg;
+    bool sorts = false;
+    int reduce = -1;  ///< 0 = sum, 1 = max, 2 = min (when not a sort)
+    std::uint64_t base = 1;
+    std::uint64_t n = 0;
+    std::uint64_t levels = 0;
+    sim::HpuParams hw;
+    double alpha = 0.5;
+    std::uint64_t y = 1;
+    std::uint64_t chunks = 1;
+    std::vector<std::int32_t> input;
+};
+
+Instance make_instance(std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    auto pick = [&](std::uint64_t lo, std::uint64_t hi) {
+        return lo + rng() % (hi - lo + 1);
+    };
+    auto real = [&](double lo, double hi) {
+        return lo + (hi - lo) * (static_cast<double>(rng() >> 11) * 0x1.0p-53);
+    };
+
+    Instance in;
+    in.seed = seed;
+    in.hw = platforms::hpu1();
+    in.hw.name = "random";
+    in.hw.cpu.p = pick(1, 8);
+    in.hw.cpu.contention = 0.0;
+    in.hw.gpu.g = 1ull << pick(4, 12);
+    in.hw.gpu.gamma = real(0.005, 0.05);
+    in.hw.link.lambda = real(0.0, 2000.0);
+    in.hw.link.delta = real(0.25, 4.0);
+
+    switch (pick(0, 5)) {
+        case 0:
+            in.alg = std::make_unique<algos::MergesortPlain<std::int32_t>>();
+            in.sorts = true;
+            break;
+        case 1:
+            in.alg = std::make_unique<algos::MergesortCoalesced<std::int32_t>>();
+            in.sorts = true;
+            break;
+        case 2:
+            in.base = 1ull << pick(1, 3);
+            in.alg = std::make_unique<algos::MergesortBlocked<std::int32_t>>(in.base);
+            in.sorts = true;
+            break;
+        case 3:
+            in.alg = std::make_unique<algos::DcSum<std::int32_t>>(
+                algos::make_sum<std::int32_t>());
+            in.reduce = 0;
+            break;
+        case 4:
+            in.alg = std::make_unique<algos::DcMax<std::int32_t>>(
+                algos::make_max<std::int32_t>());
+            in.reduce = 1;
+            break;
+        default:
+            in.alg = std::make_unique<algos::DcMin<std::int32_t>>(
+                algos::make_min<std::int32_t>());
+            in.reduce = 2;
+            break;
+    }
+
+    in.levels = pick(7, 10);
+    in.n = in.base << in.levels;
+    in.alpha = real(0.1, 0.9);
+    in.y = pick(1, in.levels);
+    in.chunks = pick(1, 8);
+    in.input.resize(in.n);
+    for (auto& v : in.input) v = static_cast<std::int32_t>(pick(0, 1000));
+    return in;
+}
+
+/// Sums the level/leaves task counts of a recorded session and checks
+/// they reconstruct the full tree, however the run was scheduled.
+void check_conservation(const Instance& in, const trace::TraceSession& ts) {
+    std::map<std::uint64_t, std::uint64_t> level_tasks;
+    std::uint64_t leaf_tasks = 0;
+    for (const trace::Span& s : ts.spans()) {
+        if (s.kind == trace::SpanKind::kLevel) {
+            level_tasks[s.attrs.level] += s.attrs.tasks;
+        } else if (s.kind == trace::SpanKind::kLeaves) {
+            leaf_tasks += s.attrs.tasks;
+        }
+    }
+    EXPECT_EQ(level_tasks.size(), in.levels) << "levels touched";
+    for (const auto& [lvl, tasks] : level_tasks) {
+        ASSERT_LT(lvl, in.levels);
+        EXPECT_EQ(tasks, 1ull << lvl) << "tasks at level " << lvl;
+    }
+    EXPECT_EQ(leaf_tasks, in.n / in.base) << "leaf blocks";
+}
+
+/// Checks one executor's report, trace, and (functional) output against
+/// the sequential reference.
+void check_run(const Instance& in, const ExecReport& rep, const trace::TraceSession& ts,
+               const std::vector<std::int32_t>& out, bool functional,
+               const std::vector<std::int32_t>* reference) {
+    EXPECT_TRUE(std::isfinite(rep.total));
+    EXPECT_GT(rep.total, 0.0);
+    check_conservation(in, ts);
+    if (!functional) return;
+    if (reference != nullptr) {
+        EXPECT_EQ(out, *reference) << "output differs from the sequential run";
+    }
+    if (in.sorts) {
+        EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+    } else {
+        std::int64_t acc = in.reduce == 0 ? 0
+                                          : static_cast<std::int64_t>(in.input[0]);
+        for (std::size_t i = in.reduce == 0 ? 0 : 1; i < in.input.size(); ++i) {
+            const auto v = static_cast<std::int64_t>(in.input[i]);
+            if (in.reduce == 0) acc += v;
+            if (in.reduce == 1) acc = std::max(acc, v);
+            if (in.reduce == 2) acc = std::min(acc, v);
+        }
+        EXPECT_EQ(static_cast<std::int64_t>(out[0]), acc) << "fold value";
+    }
+}
+
+TEST(PropertyHarness, RandomInstancesAgreeAcrossExecutorsAndModes) {
+    constexpr int kCases = 200;
+    std::mt19937_64 master(0x5eed2026'08'05ull);
+    for (int c = 0; c < kCases; ++c) {
+        const Instance in = make_instance(master());
+        SCOPED_TRACE(::testing::Message()
+                     << "case " << c << " seed=" << in.seed << " alg=" << in.alg->name()
+                     << " n=" << in.n << " p=" << in.hw.cpu.p << " g=" << in.hw.gpu.g
+                     << " alpha=" << in.alpha << " y=" << in.y << " K=" << in.chunks);
+
+        for (const bool functional : {true, false}) {
+            ExecOptions opts;
+            opts.functional = functional;
+            AdvancedOptions adv;
+            adv.exec = opts;
+            PipelinedOptions pip;
+            pip.chunks = in.chunks;
+            pip.exec = opts;
+
+            // Sequential run: the bit-exact reference for every other
+            // executor in this mode.
+            sim::Hpu h(in.hw);
+            std::vector<std::int32_t> ref = in.input;
+            {
+                trace::TraceSession ts;
+                ExecOptions o = opts;
+                o.trace = &ts;
+                const auto rep = run_sequential(h.cpu(), *in.alg, std::span(ref), o);
+                check_run(in, rep, ts, ref, functional, nullptr);
+            }
+            auto against_ref = [&](auto&& run) {
+                std::vector<std::int32_t> data = in.input;
+                trace::TraceSession ts;
+                ExecOptions o = opts;
+                o.trace = &ts;
+                const ExecReport rep = run(std::span(data), o);
+                check_run(in, rep, ts, data, functional, &ref);
+                return rep;
+            };
+
+            against_ref([&](std::span<std::int32_t> d, const ExecOptions& o) {
+                return run_multicore(h.cpu(), *in.alg, d, o);
+            });
+            against_ref([&](std::span<std::int32_t> d, const ExecOptions& o) {
+                return run_gpu(h, *in.alg, d, o);
+            });
+            against_ref([&](std::span<std::int32_t> d, const ExecOptions& o) {
+                return run_basic_hybrid(h, *in.alg, d, o);
+            });
+            against_ref([&](std::span<std::int32_t> d, const ExecOptions& o) {
+                AdvancedOptions a = adv;
+                a.exec = o;
+                return run_advanced_hybrid(h, *in.alg, d, in.alpha, in.y, a);
+            });
+            const ExecReport prep =
+                against_ref([&](std::span<std::int32_t> d, const ExecOptions& o) {
+                    PipelinedOptions p = pip;
+                    p.exec = o;
+                    return run_pipelined_hybrid(h, *in.alg, d, in.alpha, in.y, p);
+                });
+            EXPECT_GE(prep.chunks, 1u);
+            EXPECT_LE(prep.chunks, in.chunks);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace hpu::core

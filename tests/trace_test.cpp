@@ -382,7 +382,11 @@ TEST(Counters, FunctionalGpuRunCountsLaunchesWavesAndTransfers) {
     algos::MergesortCoalesced<std::int32_t> alg;
     const std::uint64_t n = 1 << 13;
     auto data = random_input(n, 71);
-    run_gpu(h, alg, std::span(data));
+    // Hermetic against the HPU_VALIDATE env override: this test counts a
+    // plain functional run, so pin validation off explicitly.
+    ExecOptions opts;
+    opts.validate = false;
+    run_gpu(h, alg, std::span(data), opts);
     const auto d = trace::counters().snapshot() - before;
     EXPECT_GE(d.kernel_launches, 13u);  // one per internal level
     EXPECT_GE(d.waves_launched, d.kernel_launches);

@@ -4,11 +4,14 @@
 Validates that a --trace=<file.json> export is well-formed enough for
 Perfetto / chrome://tracing: valid JSON, the expected top-level keys, the
 four track-name metadata events, and complete ("X") events whose required
-fields are present and whose timestamps are sane. Used by CI as a smoke
-gate after running a traced bench; exits non-zero with a message on the
-first violation.
+fields are present and whose timestamps are sane. On top of the flat
+checks it rebuilds the span tree from each event's args.span_id /
+args.parent and verifies containment: every child interval nests inside
+its parent's interval, and streamed transfer chunks hang off a phase
+span. Used by CI as a smoke gate after running a traced bench; exits
+non-zero with a message on the first violation.
 
-Usage: tools/check_trace.py <trace.json> [--min-spans N]
+Usage: tools/check_trace.py <trace.json> [--min-spans N] [--expect-chunks K]
 """
 
 import argparse
@@ -18,10 +21,59 @@ import sys
 TRACKS = {"host", "cpu", "gpu", "link"}
 KINDS = {"run", "phase", "level", "leaves", "wave", "transfer", "hook"}
 
+# Containment slack: the exporter prints tick values with 6 significant
+# digits, so ts + dur carries up to ~1e-5 relative rounding; allow that
+# noise, not real overhang (a real escape is at least one transfer, λ
+# ticks, orders of magnitude above the tolerance).
+EPS = 2e-5
+
 
 def fail(msg):
     print(f"check_trace: FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
+
+
+def check_nesting(complete):
+    """Rebuild the span tree from args.span_id/args.parent and verify that
+    every child's [ts, ts+dur] interval nests inside its parent's."""
+    by_id = {}
+    for ev in complete:
+        args = ev.get("args")
+        if not isinstance(args, dict):
+            fail(f"complete event '{ev['name']}' lacks an args object")
+        sid = args.get("span_id")
+        if not isinstance(sid, int) or sid == 0:
+            fail(f"complete event '{ev['name']}' lacks a valid args.span_id")
+        if sid in by_id:
+            fail(f"duplicate span_id {sid} ('{ev['name']}')")
+        by_id[sid] = ev
+
+    roots = 0
+    for ev in complete:
+        args = ev["args"]
+        parent = args.get("parent")
+        if not isinstance(parent, int):
+            fail(f"span {args['span_id']} ('{ev['name']}') lacks args.parent")
+        if parent == 0:  # kNoSpan sentinel: a root span
+            roots += 1
+            continue
+        if parent not in by_id:
+            fail(f"span {args['span_id']} ('{ev['name']}') references "
+                 f"unknown parent {parent}")
+        pev = by_id[parent]
+        lo, hi = ev["ts"], ev["ts"] + ev["dur"]
+        plo, phi = pev["ts"], pev["ts"] + pev["dur"]
+        tol = EPS * max(abs(hi), abs(phi), 1.0)
+        if lo < plo - tol or hi > phi + tol:
+            fail(f"span {args['span_id']} ('{ev['name']}') "
+                 f"[{lo}, {hi}] escapes parent {parent} ('{pev['name']}') "
+                 f"[{plo}, {phi}]")
+        if "chunk" in ev["name"] and ev["cat"] == "transfer":
+            if pev["cat"] != "phase":
+                fail(f"streamed chunk '{ev['name']}' hangs off a "
+                     f"'{pev['cat']}' span, expected a phase")
+    if roots == 0 and complete:
+        fail("no root span (every span has a parent)")
 
 
 def main():
@@ -29,6 +81,9 @@ def main():
     ap.add_argument("trace", help="Chrome trace-event JSON file to check")
     ap.add_argument("--min-spans", type=int, default=1,
                     help="minimum number of complete (ph=X) events required")
+    ap.add_argument("--expect-chunks", type=int, default=None,
+                    help="exact number of pipelined input-chunk transfer "
+                         "spans (name contains 'xfer-in-chunk') required")
     args = ap.parse_args()
 
     try:
@@ -46,7 +101,7 @@ def main():
         fail("traceEvents is not a list")
 
     tracks = {}
-    spans = 0
+    complete = []
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
             fail(f"event {i} is not an object")
@@ -56,7 +111,6 @@ def main():
                 fail(f"metadata event {i} is not a thread_name record")
             tracks[ev.get("tid")] = ev.get("args", {}).get("name")
         elif ph == "X":
-            spans += 1
             for key in ("name", "cat", "pid", "tid", "ts", "dur"):
                 if key not in ev:
                     fail(f"complete event {i} ({ev.get('name', '?')}) lacks '{key}'")
@@ -66,15 +120,26 @@ def main():
                 fail(f"event {i} ({ev['name']}) has negative ts/dur")
             if ev["tid"] not in tracks:
                 fail(f"event {i} ({ev['name']}) targets undeclared track {ev['tid']}")
+            complete.append(ev)
         else:
             fail(f"event {i} has unexpected ph '{ph}'")
 
     if set(tracks.values()) != TRACKS:
         fail(f"track names {sorted(tracks.values())} != {sorted(TRACKS)}")
-    if spans < args.min_spans:
-        fail(f"only {spans} spans, expected at least {args.min_spans}")
+    if len(complete) < args.min_spans:
+        fail(f"only {len(complete)} spans, expected at least {args.min_spans}")
 
-    print(f"check_trace: OK: {spans} spans across {len(tracks)} tracks in {args.trace}")
+    check_nesting(complete)
+
+    if args.expect_chunks is not None:
+        chunks = sum(1 for ev in complete
+                     if ev["cat"] == "transfer" and "xfer-in-chunk" in ev["name"])
+        if chunks != args.expect_chunks:
+            fail(f"{chunks} pipelined input-chunk spans, "
+                 f"expected exactly {args.expect_chunks}")
+
+    print(f"check_trace: OK: {len(complete)} spans across {len(tracks)} tracks "
+          f"in {args.trace}")
 
 
 if __name__ == "__main__":
