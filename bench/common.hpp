@@ -22,9 +22,13 @@
 //   --pipeline=<K>   also run the pipelined hybrid (§9) with K transfer
 //                    chunks where the bench supports it (0 = off; the
 //                    scheduler's no-win guard may still fall back to K=1)
+//   --workers=<k>    host threads for functional execution (see
+//                    worker_threads below; 0 = inline on the caller —
+//                    virtual times are identical either way, DESIGN.md §10)
 #pragma once
 
 #include <iostream>
+#include <thread>
 
 #include "algos/mergesort.hpp"
 #include "core/hybrid.hpp"
@@ -66,6 +70,17 @@ inline std::uint64_t input_seed(const util::Cli& cli, std::uint64_t n) {
 inline std::uint64_t pipeline_chunks(const util::Cli& cli) {
     const std::int64_t k = cli.get_int("pipeline", 0);
     return k > 0 ? static_cast<std::uint64_t>(k) : 0;
+}
+
+/// Pool workers requested via --workers: the host threads that accelerate
+/// *functional* execution when the bench passes a util::ThreadPool into
+/// its sim::Hpu. Defaults to hardware_concurrency - 1 (the submitting
+/// thread drains chunks too, so k workers occupy k+1 cores); 0 = inline.
+inline std::size_t worker_threads(const util::Cli& cli) {
+    const auto hc = std::max(1u, std::thread::hardware_concurrency());
+    const auto def = static_cast<std::int64_t>(hc > 1 ? hc - 1 : 0);
+    const std::int64_t k = cli.get_int("workers", def);
+    return k > 0 ? static_cast<std::size_t>(k) : 0;
 }
 
 /// Platforms selected by --platform (default: both).

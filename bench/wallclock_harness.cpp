@@ -1,0 +1,161 @@
+// Wall-clock harness for the host-parallel functional engine: runs the
+// Figure-8 size sweep through every executor twice — functional bodies
+// inline (workers = 0) and across a util::ThreadPool — and reports real
+// seconds plus the pooled-over-inline speedup. The virtual-clock results
+// are identical between the two passes (the determinism sweep in
+// tests/pool_determinism_test.cpp enforces that bit for bit); this harness
+// measures the only thing the pool is allowed to change.
+//
+// Emits both an aligned table (or --csv) and a JSON artifact for CI:
+//
+//   { "bench": "wallclock", "algo": "mergesort_coalesced",
+//     "platform": "HPU1", "host_concurrency": 8,
+//     "entries": [ { "size": 16777216, "executor": "advanced",
+//                    "workers": 7, "seconds": 0.41,
+//                    "speedup_vs_serial": 3.2 }, ... ] }
+//
+// Flags (on top of the common ones in common.hpp):
+//   --workers=<k>  pool worker threads for the parallel pass
+//                  (default: hardware_concurrency - 1, min 1; the caller
+//                  thread also drains chunks, so k workers use k+1 cores)
+//   --lgmin=<l>    smallest size as log2(n)        (default 18)
+//   --lgmax=<l>    largest size as log2(n)         (default 24)
+//   --step=<s>     log2 stride through the sweep   (default 2)
+//   --out=<file>   JSON artifact path              (default BENCH_wallclock.json)
+//
+// Runs are functional by definition here (--functional is implied): the
+// analytic fast path executes no task bodies, so there is nothing for a
+// pool to accelerate.
+#include <fstream>
+#include <thread>
+
+#include "common.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace hpu;
+
+constexpr const char* kExecutors[] = {"sequential", "multicore", "gpu",
+                                      "basic",      "advanced",  "pipelined"};
+
+struct Entry {
+    std::uint64_t size = 0;
+    std::string executor;
+    std::size_t workers = 0;
+    double seconds = 0.0;
+    double speedup = 1.0;  ///< vs the workers = 0 run of the same config
+};
+
+/// One timed functional run. The pool is threaded through the Hpu; alpha /
+/// y / K follow the Figure-8 recipe (model-optimal split per size).
+double timed_run(util::ThreadPool* pool, int executor, const sim::HpuParams& hw,
+                 const algos::MergesortCoalesced<std::int32_t>& alg,
+                 const std::vector<std::int32_t>& input, double alpha, std::uint64_t y,
+                 std::uint64_t chunks) {
+    sim::Hpu h(hw, pool);
+    std::vector<std::int32_t> data = input;
+    core::ExecOptions opts;
+    opts.functional = true;
+    opts.validate = false;
+    std::span<std::int32_t> d(data);
+    util::Stopwatch sw;
+    switch (executor) {
+        case 0: core::run_sequential(h.cpu(), alg, d, opts); break;
+        case 1: core::run_multicore(h.cpu(), alg, d, opts); break;
+        case 2: core::run_gpu(h, alg, d, opts); break;
+        case 3: core::run_basic_hybrid(h, alg, d, opts); break;
+        case 4: {
+            core::AdvancedOptions adv;
+            adv.exec = opts;
+            core::run_advanced_hybrid(h, alg, d, alpha, y, adv);
+            break;
+        }
+        default: {
+            core::PipelinedOptions pip;
+            pip.chunks = chunks;
+            pip.exec = opts;
+            core::run_pipelined_hybrid(h, alg, d, alpha, y, pip);
+            break;
+        }
+    }
+    return sw.seconds();
+}
+
+void write_json(const std::string& path, const std::string& platform,
+                std::size_t host_concurrency, const std::vector<Entry>& entries) {
+    std::ofstream os(path);
+    if (!os) {
+        std::cerr << "cannot write " << path << "\n";
+        return;
+    }
+    os << "{\n";
+    os << "  \"bench\": \"wallclock\",\n";
+    os << "  \"algo\": \"mergesort_coalesced\",\n";
+    os << "  \"platform\": \"" << platform << "\",\n";
+    os << "  \"host_concurrency\": " << host_concurrency << ",\n";
+    os << "  \"entries\": [\n";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const Entry& e = entries[i];
+        os << "    {\"size\": " << e.size << ", \"executor\": \"" << e.executor
+           << "\", \"workers\": " << e.workers << ", \"seconds\": " << e.seconds
+           << ", \"speedup_vs_serial\": " << e.speedup << "}"
+           << (i + 1 < entries.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    std::cout << "\nwrote " << entries.size() << " entries -> " << path << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    util::Cli cli(argc, argv);
+    const std::size_t hc = std::max(1u, std::thread::hardware_concurrency());
+    // At least one worker even on a single-core host: the pooled pass must
+    // exist for the artifact to carry a pooled-vs-inline comparison (the
+    // speedup then just hovers around 1).
+    const std::size_t workers = std::max<std::size_t>(1, bench::worker_threads(cli));
+    const int lg_min = static_cast<int>(cli.get_int("lgmin", 18));
+    const int lg_max = static_cast<int>(cli.get_int("lgmax", 24));
+    const int step = static_cast<int>(cli.get_int("step", 2));
+    const std::string out = cli.get("out", "BENCH_wallclock.json");
+    const std::uint64_t chunks = std::max<std::uint64_t>(1, bench::pipeline_chunks(cli));
+
+    const platforms::PlatformSpec spec =
+        platforms::by_name(cli.get("platform", "HPU1"));
+    algos::MergesortCoalesced<std::int32_t> alg;
+
+    util::ThreadPool inline_pool(0);
+    util::ThreadPool pool(workers);
+
+    std::cout << "wall-clock harness: " << spec.name << ", workers 0 vs " << workers
+              << " (host concurrency " << hc << ")\n";
+    util::Table t({"n", "executor", "t inline (s)", "t pooled (s)", "speedup"}, 3);
+    std::vector<Entry> entries;
+
+    for (int lg = lg_min; lg <= lg_max; lg += step) {
+        const std::uint64_t n = 1ull << lg;
+        util::Rng rng(bench::input_seed(cli, n));
+        const auto input = rng.int_vector(n, 0, static_cast<std::int64_t>(2 * n));
+
+        model::AdvancedModel m(spec.params, alg.recurrence(), static_cast<double>(n));
+        const auto opt = m.optimize();
+        const auto y = std::clamp<std::uint64_t>(
+            static_cast<std::uint64_t>(std::llround(opt.y)), 1, static_cast<std::uint64_t>(lg));
+
+        for (int e = 0; e < 6; ++e) {
+            const double t0 =
+                timed_run(&inline_pool, e, spec.params, alg, input, opt.alpha, y, chunks);
+            const double t1 = timed_run(&pool, e, spec.params, alg, input, opt.alpha, y, chunks);
+            const double speedup = t1 > 0.0 ? t0 / t1 : 1.0;
+            entries.push_back({n, kExecutors[e], 0, t0, 1.0});
+            entries.push_back({n, kExecutors[e], workers, t1, speedup});
+            t.add_row({static_cast<std::int64_t>(n), std::string(kExecutors[e]), t0, t1, speedup});
+        }
+    }
+
+    bench::emit(t, cli);
+    write_json(out, spec.name, hc, entries);
+    return 0;
+}

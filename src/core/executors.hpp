@@ -18,6 +18,12 @@
 // Tracing follows the same discipline as validation: it is strictly off
 // the virtual-clock critical path, so attaching a session never changes
 // any ExecReport tick (enforced by test).
+//
+// Host-parallel functional execution: construct the sim::Hpu (or CpuUnit)
+// with a util::ThreadPool and CPU levels / device waves run pool-parallel.
+// This only accelerates wall-clock; virtual times, traces, and analysis
+// findings are bit-identical to the inline run (DESIGN.md §10, enforced
+// by the pooled-vs-inline determinism sweep).
 #pragma once
 
 #include <cstdint>
@@ -471,7 +477,10 @@ ExecReport run_sequential(sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg, std::
     sim::CpuParams one_core = cpu.params();
     one_core.p = 1;
     one_core.contention = 0.0;  // a single core does not compete with itself
-    sim::CpuUnit single(one_core);
+    // The virtual machine has one core, but the *functional* execution
+    // still rides the caller's thread pool — the two clocks are
+    // independent (DESIGN.md §10).
+    sim::CpuUnit single(one_core, cpu.pool());
     ExecReport rep;
     rep.trace = opts.trace;
     analysis::AnalysisReport* val = detail::analysis_sink(opts, rep);

@@ -15,6 +15,11 @@
 // ExecOptions::trace is set, a hierarchical span tree (run → phase →
 // level → wave) into the given trace session. Timeline events and trace
 // phase spans share the same phase_label strings so the two views join.
+//
+// Both inherit host-parallel functional execution from the Hpu's units:
+// if the Hpu was built with a util::ThreadPool, every CPU level and GPU
+// wave runs pool-parallel, while the virtual schedule, traces, and
+// analysis stay bit-identical to the inline run (DESIGN.md §10).
 #pragma once
 
 #include <algorithm>

@@ -27,6 +27,10 @@
 //
 // The CPU thread, sync point, and finish phase are the advanced hybrid's,
 // unchanged.
+//
+// Like the other schedulers, pipelined runs inherit host-parallel
+// functional execution from the Hpu's thread pool; the virtual pipeline
+// schedule is bit-identical with or without it (DESIGN.md §10).
 #pragma once
 
 #include <algorithm>

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "sim/op_counter.hpp"
@@ -37,6 +38,8 @@ public:
 
     const CpuParams& params() const noexcept { return params_; }
 
+    util::ThreadPool* pool() const noexcept { return pool_; }
+
     /// Runs `n_tasks` invocations of `task` (callable taking (index,
     /// OpCounter&)) on p virtual cores. `working_set_bytes` feeds the
     /// optional LLC contention penalty (0 = unknown/none).
@@ -47,31 +50,32 @@ public:
         r.tasks = n_tasks;
         if (n_tasks == 0) return r;
         trace::count(trace::counters().cpu_levels);
-        std::vector<std::uint64_t> costs(n_tasks);
+        costs_.resize(n_tasks);  // reusable arena: no per-level allocation
         if (pool_ != nullptr && pool_->worker_count() > 0) {
+            // Every task charges into its own arena slot; the full
+            // OpCounters are folded in index order after the parallel
+            // section, so the per-category split (compute / coalesced /
+            // strided) in LevelResult is bit-identical to the inline path.
+            task_ops_.assign(n_tasks, OpCounter{});
             pool_->parallel_for(n_tasks, [&](std::size_t i) {
-                OpCounter ops;
-                task(static_cast<std::uint64_t>(i), ops);
-                costs[i] = ops.cpu_ops();
+                task(static_cast<std::uint64_t>(i), task_ops_[i]);
+                costs_[i] = task_ops_[i].cpu_ops();
             });
-            // Totals are folded after the parallel section to keep the task
-            // loop free of shared mutable state; the per-category split is
-            // collapsed into `compute` in pooled mode (only the scalar cost
-            // matters on the CPU side).
-            for (std::uint64_t c : costs) {
-                r.total_ops.compute += c;
-                r.max_task_ops = std::max(r.max_task_ops, c);
+            for (std::uint64_t i = 0; i < n_tasks; ++i) {
+                r.total_ops += task_ops_[i];
+                r.max_task_ops = std::max(r.max_task_ops, costs_[i]);
             }
         } else {
             for (std::uint64_t i = 0; i < n_tasks; ++i) {
                 OpCounter ops;
                 task(i, ops);
-                costs[i] = ops.cpu_ops();
+                costs_[i] = ops.cpu_ops();
                 r.total_ops += ops;
-                r.max_task_ops = std::max(r.max_task_ops, costs[i]);
+                r.max_task_ops = std::max(r.max_task_ops, costs_[i]);
             }
         }
-        r.time = static_cast<Ticks>(util::makespan(costs, params_.p, order));
+        r.time = static_cast<Ticks>(
+            util::makespan(std::span(costs_.data(), n_tasks), params_.p, order));
         r.time *= contention_factor(n_tasks, working_set_bytes);
         return r;
     }
@@ -98,6 +102,10 @@ public:
 private:
     CpuParams params_;
     util::ThreadPool* pool_;
+    // Per-level scratch, reused across levels so functional execution
+    // allocates nothing steady-state (task_ops_ is only touched pooled).
+    std::vector<std::uint64_t> costs_;
+    std::vector<OpCounter> task_ops_;
 };
 
 }  // namespace hpu::sim

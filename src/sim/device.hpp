@@ -6,6 +6,14 @@
 // the same kernel body; each identifies its subproblem from its global id
 // (Alg. 3). A wave lasts as long as its slowest item; waves execute back to
 // back. Items charge their work through WorkItem::ops().
+//
+// Functional execution is optionally *host-parallel*: constructed with a
+// util::ThreadPool, the device runs each wave's items across the pool (the
+// items of one launch are independent by the framework's contract — the
+// hpu::analysis race detector enforces it). Virtual time, LaunchResult,
+// and WaveTrace stay bit-identical to the serial path: per-item charges
+// land in a per-wave arena and are folded into the wave max/sum in index
+// order after the parallel section (enforced by test).
 #pragma once
 
 #include <cstdint>
@@ -17,6 +25,7 @@
 #include "trace/counters.hpp"
 #include "util/check.hpp"
 #include "util/math.hpp"
+#include "util/thread_pool.hpp"
 
 namespace hpu::sim {
 
@@ -72,11 +81,19 @@ struct WaveTrace {
 
 class Device {
 public:
-    explicit Device(DeviceParams params) : params_(params) { params_.validate(); }
+    /// `pool` may be null: items then run inline on the caller (the
+    /// virtual clock is unaffected either way — the pool only accelerates
+    /// functional execution on multi-core hosts).
+    explicit Device(DeviceParams params, util::ThreadPool* pool = nullptr)
+        : params_(params), pool_(pool) {
+        params_.validate();
+    }
 
     const DeviceParams& params() const noexcept { return params_; }
     const DeviceStats& stats() const noexcept { return stats_; }
     void reset_stats() noexcept { stats_ = DeviceStats{}; }
+
+    util::ThreadPool* pool() const noexcept { return pool_; }
 
     /// Attach (or detach, with nullptr) a per-wave sink for the next
     /// launches. The device does not own the sink; it must outlive its use.
@@ -92,6 +109,7 @@ public:
         LaunchResult r;
         r.items = n_items;
         r.waves = util::ceil_div(n_items, params_.g);
+        const bool pooled = pool_ != nullptr && pool_->worker_count() > 0;
         Ticks total = params_.launch_overhead;
         std::uint64_t id = 0;
         for (std::uint64_t w = 0; w < r.waves; ++w) {
@@ -99,15 +117,37 @@ public:
             const std::uint64_t wave_end = std::min(n_items, (w + 1) * params_.g);
             double wave_max_ops = 0.0;
             OpCounter wave_ops;
-            for (; id < wave_end; ++id) {
-                OpCounter ops;
-                WorkItem wi(id, n_items, ops);
-                kernel(wi);
-                const double item_ops = ops.gpu_ops(params_.strided_penalty);
-                wave_max_ops = std::max(wave_max_ops, item_ops);
-                r.max_item_ops = std::max(r.max_item_ops, item_ops);
-                r.total_ops += ops;
-                if (wave_trace_ != nullptr) wave_ops += ops;
+            if (pooled && wave_end - wave_begin > 1) {
+                // Host-parallel wave: every item charges into its own arena
+                // slot, then the slots are folded in index order — the same
+                // max/sum sequence the serial loop below produces, so the
+                // two paths are bit-identical.
+                const std::size_t items = wave_end - wave_begin;
+                item_ops_.assign(items, OpCounter{});  // reused arena, reset
+                item_cost_.resize(items);
+                pool_->parallel_for(items, [&](std::size_t j) {
+                    WorkItem wi(wave_begin + j, n_items, item_ops_[j]);
+                    kernel(wi);
+                    item_cost_[j] = item_ops_[j].gpu_ops(params_.strided_penalty);
+                });
+                for (std::size_t j = 0; j < items; ++j) {
+                    wave_max_ops = std::max(wave_max_ops, item_cost_[j]);
+                    r.max_item_ops = std::max(r.max_item_ops, item_cost_[j]);
+                    r.total_ops += item_ops_[j];
+                    if (wave_trace_ != nullptr) wave_ops += item_ops_[j];
+                }
+                id = wave_end;
+            } else {
+                for (; id < wave_end; ++id) {
+                    OpCounter ops;
+                    WorkItem wi(id, n_items, ops);
+                    kernel(wi);
+                    const double item_ops = ops.gpu_ops(params_.strided_penalty);
+                    wave_max_ops = std::max(wave_max_ops, item_ops);
+                    r.max_item_ops = std::max(r.max_item_ops, item_ops);
+                    r.total_ops += ops;
+                    if (wave_trace_ != nullptr) wave_ops += ops;
+                }
             }
             total += wave_max_ops / params_.gamma;
             if (wave_trace_ != nullptr) {
@@ -143,6 +183,11 @@ private:
     DeviceParams params_;
     DeviceStats stats_;
     std::vector<WaveTrace>* wave_trace_ = nullptr;
+    util::ThreadPool* pool_ = nullptr;
+    // Per-wave scratch, reused across waves and launches so pooled
+    // execution allocates nothing steady-state (capacity is bounded by g).
+    std::vector<OpCounter> item_ops_;
+    std::vector<double> item_cost_;
 };
 
 }  // namespace hpu::sim

@@ -15,8 +15,12 @@ namespace hpu::sim {
 
 class Hpu {
 public:
+    /// `pool` accelerates the *functional* execution of both units on
+    /// multi-core hosts (CPU levels and device waves); the virtual clock
+    /// is bit-identical with or without it (enforced by test). May be
+    /// null: everything then runs inline on the caller.
     explicit Hpu(HpuParams params, util::ThreadPool* pool = nullptr)
-        : params_(std::move(params)), cpu_(params_.cpu, pool), gpu_(params_.gpu) {
+        : params_(std::move(params)), cpu_(params_.cpu, pool), gpu_(params_.gpu, pool) {
         params_.validate();
     }
 

@@ -1,6 +1,22 @@
 #include "util/thread_pool.hpp"
 
+#include <algorithm>
+
 namespace hpu::util {
+
+namespace {
+
+// Auto grain: aim for several chunks per participant so late-arriving
+// workers and uneven task costs still balance, but never below one index
+// per chunk — a level of two huge tasks must still split two ways.
+constexpr std::size_t kChunksPerWorker = 8;
+
+std::size_t pick_grain(std::size_t count, std::size_t requested, std::size_t participants) {
+    if (requested > 0) return requested;
+    return std::max<std::size_t>(1, count / (participants * kChunksPerWorker));
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t workers) {
     threads_.reserve(workers);
@@ -18,48 +34,69 @@ ThreadPool::~ThreadPool() {
     for (auto& t : threads_) t.join();
 }
 
-void ThreadPool::drain_batch(std::unique_lock<std::mutex>& lock) {
-    Batch& b = *batch_;
-    while (b.next < b.count) {
-        const std::size_t i = b.next++;
-        lock.unlock();
+void ThreadPool::drain_batch(Batch& b) {
+    for (;;) {
+        const std::size_t begin = b.cursor.fetch_add(b.grain, std::memory_order_relaxed);
+        if (begin >= b.count) return;
+        const std::size_t end = std::min(b.count, begin + b.grain);
         std::exception_ptr err;
-        try {
-            (*b.fn)(i);
-        } catch (...) {
-            err = std::current_exception();
+        if (!b.abandon.load(std::memory_order_relaxed)) {
+            try {
+                b.invoke(b.ctx, begin, end);
+            } catch (...) {
+                err = std::current_exception();
+            }
         }
-        lock.lock();
-        if (err && !b.error) b.error = err;
-        if (++b.done == b.count) done_cv_.notify_all();
+        std::lock_guard lock(mu_);
+        if (err) {
+            if (!b.error) b.error = err;  // first failure wins
+            b.abandon.store(true, std::memory_order_relaxed);
+        }
+        b.done += end - begin;
+        if (b.done == b.count) done_cv_.notify_all();
     }
 }
 
 void ThreadPool::worker_loop() {
     std::unique_lock lock(mu_);
     for (;;) {
-        work_cv_.wait(lock, [this] { return stop_ || (batch_ && batch_->next < batch_->count); });
+        work_cv_.wait(lock, [this] {
+            return stop_ || (batch_ != nullptr &&
+                             batch_->cursor.load(std::memory_order_relaxed) < batch_->count);
+        });
         if (stop_) return;
-        drain_batch(lock);
+        Batch& b = *batch_;
+        // The submitter only tears the batch down once done == count AND
+        // active == 0, so registering before unlocking keeps &b valid for
+        // the whole drain even if other workers finish the remaining
+        // chunks first.
+        ++b.active;
+        lock.unlock();
+        drain_batch(b);
+        lock.lock();
+        --b.active;
+        if (b.done == b.count && b.active == 0) done_cv_.notify_all();
     }
 }
 
-void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn) {
-    if (count == 0) return;
-    if (threads_.empty()) {
-        for (std::size_t i = 0; i < count; ++i) fn(i);
-        return;
-    }
+void ThreadPool::run_batch(std::size_t count, std::size_t grain, RangeFn invoke, void* ctx) {
     Batch b;
     b.count = count;
-    b.fn = &fn;
-    std::unique_lock lock(mu_);
-    HPU_CHECK(batch_ == nullptr, "parallel_for is not reentrant");
-    batch_ = &b;
+    b.grain = pick_grain(count, grain, threads_.size() + 1);
+    b.invoke = invoke;
+    b.ctx = ctx;
+    {
+        std::lock_guard lock(mu_);
+        HPU_CHECK(batch_ == nullptr, "parallel_for is not reentrant");
+        batch_ = &b;
+    }
     work_cv_.notify_all();
-    drain_batch(lock);  // caller participates
-    done_cv_.wait(lock, [&b] { return b.done == b.count; });
-    batch_ = nullptr;
+    drain_batch(b);  // caller participates
+    {
+        std::unique_lock lock(mu_);
+        done_cv_.wait(lock, [&b] { return b.done == b.count && b.active == 0; });
+        batch_ = nullptr;
+    }
     if (b.error) std::rethrow_exception(b.error);
 }
 

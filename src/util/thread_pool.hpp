@@ -1,17 +1,28 @@
 // A fixed-size thread pool used for the *functional* execution of CPU-side
-// tasks (the virtual clock handles performance accounting separately; see
-// sim/cpu_unit.hpp). The pool supports bulk parallel-for submission, which is
-// the only pattern the breadth-first executors need: run m independent tasks
-// of one recursion-tree level, then barrier.
+// tasks and simulated GPU waves (the virtual clock handles performance
+// accounting separately; see sim/cpu_unit.hpp and sim/device.hpp). The pool
+// supports bulk parallel-for submission, which is the only pattern the
+// breadth-first executors need: run m independent tasks of one recursion-
+// tree level, then barrier.
+//
+// Work distribution is chunked claiming (the XKaapi-style steal-half idea
+// collapsed to its essential: grab a contiguous index range with one atomic
+// bump, not one index per mutex round-trip). A batch carries a single
+// type-erased range invoker, so submitting N tasks costs one allocation-free
+// function-pointer call per claimed chunk instead of N std::function
+// dispatches. Workers and the submitting caller all claim chunks from the
+// same atomic cursor; the mutex is only touched at chunk completion for the
+// done/error accounting.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
-#include <functional>
+#include <memory>
 #include <mutex>
-#include <queue>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "util/check.hpp"
@@ -32,21 +43,53 @@ public:
     std::size_t worker_count() const noexcept { return threads_.size(); }
 
     /// Runs fn(i) for i in [0, count) across the pool and blocks until all
-    /// complete. Rethrows the first task exception on the caller.
-    void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+    /// complete. Rethrows the first task exception on the caller (later
+    /// chunks are skipped once a failure is recorded; chunks already
+    /// claimed still finish). Not reentrant: a task calling parallel_for
+    /// on the same (non-inline) pool throws HpuError.
+    ///
+    /// `grain` is the number of indices handed out per atomic claim;
+    /// 0 picks one automatically from count and the worker count (tiny
+    /// levels floor at 1 index per chunk, so a level of two huge tasks
+    /// still runs two-way parallel).
+    template <typename Fn>
+    void parallel_for(std::size_t count, Fn&& fn, std::size_t grain = 0) {
+        if (count == 0) return;
+        if (threads_.empty()) {
+            for (std::size_t i = 0; i < count; ++i) fn(i);
+            return;
+        }
+        auto* body = std::addressof(fn);
+        run_batch(
+            count, grain,
+            [](void* ctx, std::size_t begin, std::size_t end) {
+                auto& f = *static_cast<std::remove_reference_t<Fn>*>(ctx);
+                for (std::size_t i = begin; i < end; ++i) f(i);
+            },
+            const_cast<void*>(static_cast<const void*>(body)));
+    }
 
 private:
+    /// Type-erased "run indices [begin, end)" callback of one batch.
+    using RangeFn = void (*)(void* ctx, std::size_t begin, std::size_t end);
+
     struct Batch {
         std::size_t count = 0;
-        const std::function<void(std::size_t)>* fn = nullptr;
-        std::size_t next = 0;       // next index to claim
-        std::size_t done = 0;       // completed indices
-        std::exception_ptr error;   // first failure
+        std::size_t grain = 1;
+        RangeFn invoke = nullptr;
+        void* ctx = nullptr;
+        std::atomic<std::size_t> cursor{0};   // next index range to claim
+        std::atomic<bool> abandon{false};     // a failure was recorded
+        std::size_t done = 0;                 // completed indices (guarded by mu_)
+        std::size_t active = 0;               // workers inside drain (guarded by mu_)
+        std::exception_ptr error;             // first failure (guarded by mu_)
     };
 
     void worker_loop();
-    // Claims and runs indices from the current batch until exhausted.
-    void drain_batch(std::unique_lock<std::mutex>& lock);
+    // Claims and runs grain-sized chunks until the cursor is exhausted.
+    void drain_batch(Batch& b);
+    // Submits a batch, participates in draining it, waits for completion.
+    void run_batch(std::size_t count, std::size_t grain, RangeFn invoke, void* ctx);
 
     std::vector<std::thread> threads_;
     std::mutex mu_;

@@ -1,0 +1,277 @@
+// Pooled-vs-inline determinism sweep: the tentpole invariant of the
+// host-parallel functional engine is that a util::ThreadPool accelerates
+// wall-clock only. Every algorithm × executor × mode must produce
+// bit-identical ExecReports, trace span trees, output arrays, and analysis
+// findings whether the functional bodies ran inline (workers = 0) or
+// across a pool (workers = hardware_concurrency). The sweep also pins the
+// raw sim layer: Device launches with non-uniform item costs and CpuUnit
+// levels keep their LaunchResult / LevelResult — including the
+// per-category OpCounter split — exactly equal under pooling.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "algos/binary_reduce.hpp"
+#include "algos/mergesort.hpp"
+#include "algos/mergesort_blocked.hpp"
+#include "core/hybrid.hpp"
+#include "core/pipeline.hpp"
+#include "platforms/platforms.hpp"
+#include "trace/span.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hpu::core {
+namespace {
+
+std::size_t pooled_workers() {
+    return std::max(2u, std::thread::hardware_concurrency());
+}
+
+/// Small machine tuned so deep levels span several waves (g = 64) and the
+/// CPU schedules across several virtual cores — both pooled code paths get
+/// real multi-chunk work.
+sim::HpuParams small_hw() {
+    sim::HpuParams hw = platforms::hpu1();
+    hw.name = "determinism-sweep";
+    hw.cpu.p = 4;
+    hw.cpu.contention = 0.0;
+    hw.gpu.g = 64;
+    return hw;
+}
+
+struct AlgoCase {
+    std::unique_ptr<LevelAlgorithm<std::int32_t>> alg;
+    std::uint64_t base = 1;
+};
+
+std::vector<AlgoCase> algo_cases() {
+    std::vector<AlgoCase> cases;
+    cases.push_back({std::make_unique<algos::MergesortPlain<std::int32_t>>(), 1});
+    cases.push_back({std::make_unique<algos::MergesortCoalesced<std::int32_t>>(), 1});
+    cases.push_back({std::make_unique<algos::MergesortBlocked<std::int32_t>>(4), 4});
+    cases.push_back(
+        {std::make_unique<algos::DcSum<std::int32_t>>(algos::make_sum<std::int32_t>()), 1});
+    cases.push_back(
+        {std::make_unique<algos::DcMax<std::int32_t>>(algos::make_max<std::int32_t>()), 1});
+    cases.push_back(
+        {std::make_unique<algos::DcMin<std::int32_t>>(algos::make_min<std::int32_t>()), 1});
+    return cases;
+}
+
+std::vector<std::int32_t> make_input(std::uint64_t n) {
+    std::vector<std::int32_t> v(n);
+    std::uint64_t x = 0x9e3779b97f4a7c15ull;
+    for (auto& e : v) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        e = static_cast<std::int32_t>(x % 10000);
+    }
+    return v;
+}
+
+/// Everything one run produces that the invariant covers.
+struct RunArtifacts {
+    ExecReport rep;
+    std::vector<trace::Span> spans;
+    std::vector<std::int32_t> out;
+    std::vector<std::string> findings;
+    std::uint64_t launches_checked = 0;
+    std::uint64_t launches_skipped = 0;
+    std::uint64_t findings_suppressed = 0;
+};
+
+constexpr const char* kExecutors[] = {"sequential", "multicore", "gpu",
+                                      "basic",      "advanced",  "pipelined"};
+
+RunArtifacts run_one(util::ThreadPool* pool, int executor, const LevelAlgorithm<std::int32_t>& alg,
+                     const std::vector<std::int32_t>& input, bool functional) {
+    sim::Hpu h(small_hw(), pool);
+    trace::TraceSession ts;
+    ExecOptions opts;
+    opts.functional = functional;
+    opts.validate = functional;  // analysis findings are part of the invariant
+    opts.trace = &ts;
+
+    RunArtifacts art;
+    art.out = input;
+    std::span<std::int32_t> data(art.out);
+    switch (executor) {
+        case 0: art.rep = run_sequential(h.cpu(), alg, data, opts); break;
+        case 1: art.rep = run_multicore(h.cpu(), alg, data, opts); break;
+        case 2: art.rep = run_gpu(h, alg, data, opts); break;
+        case 3: art.rep = run_basic_hybrid(h, alg, data, opts); break;
+        case 4: {
+            AdvancedOptions adv;
+            adv.exec = opts;
+            art.rep = run_advanced_hybrid(h, alg, data, 0.3, 2, adv);
+            break;
+        }
+        default: {
+            PipelinedOptions pip;
+            pip.chunks = 4;
+            pip.exec = opts;
+            art.rep = run_pipelined_hybrid(h, alg, data, 0.3, 2, pip);
+            break;
+        }
+    }
+    art.spans = ts.spans();
+    for (const auto& f : art.rep.analysis.findings) art.findings.push_back(f.message());
+    art.launches_checked = art.rep.analysis.launches_checked;
+    art.launches_skipped = art.rep.analysis.launches_skipped;
+    art.findings_suppressed = art.rep.analysis.findings_suppressed;
+    return art;
+}
+
+void expect_identical(const RunArtifacts& a, const RunArtifacts& b) {
+    // ExecReport, field by field, exact (doubles included: the fold order
+    // is pinned, so even floating maxima must match bit for bit).
+    EXPECT_EQ(a.rep.total, b.rep.total);
+    EXPECT_EQ(a.rep.cpu_busy, b.rep.cpu_busy);
+    EXPECT_EQ(a.rep.gpu_busy, b.rep.gpu_busy);
+    EXPECT_EQ(a.rep.transfer, b.rep.transfer);
+    EXPECT_EQ(a.rep.finish, b.rep.finish);
+    EXPECT_EQ(a.rep.levels_cpu, b.rep.levels_cpu);
+    EXPECT_EQ(a.rep.levels_gpu, b.rep.levels_gpu);
+    EXPECT_EQ(a.rep.alpha_effective, b.rep.alpha_effective);
+    EXPECT_EQ(a.rep.chunks, b.rep.chunks);
+
+    // Functional results.
+    EXPECT_EQ(a.out, b.out);
+
+    // Analysis findings.
+    EXPECT_EQ(a.findings, b.findings);
+    EXPECT_EQ(a.launches_checked, b.launches_checked);
+    EXPECT_EQ(a.launches_skipped, b.launches_skipped);
+    EXPECT_EQ(a.findings_suppressed, b.findings_suppressed);
+
+    // Trace span trees, field by field.
+    ASSERT_EQ(a.spans.size(), b.spans.size());
+    for (std::size_t i = 0; i < a.spans.size(); ++i) {
+        const trace::Span& sa = a.spans[i];
+        const trace::Span& sb = b.spans[i];
+        SCOPED_TRACE(::testing::Message() << "span " << i << " label=" << sa.label);
+        EXPECT_EQ(sa.id, sb.id);
+        EXPECT_EQ(sa.parent, sb.parent);
+        EXPECT_EQ(sa.kind, sb.kind);
+        EXPECT_EQ(sa.unit, sb.unit);
+        EXPECT_EQ(sa.label, sb.label);
+        EXPECT_EQ(sa.start, sb.start);
+        EXPECT_EQ(sa.end, sb.end);
+        EXPECT_EQ(sa.attrs.level, sb.attrs.level);
+        EXPECT_EQ(sa.attrs.tasks, sb.attrs.tasks);
+        EXPECT_EQ(sa.attrs.items, sb.attrs.items);
+        EXPECT_EQ(sa.attrs.waves, sb.attrs.waves);
+        EXPECT_EQ(sa.attrs.ops, sb.attrs.ops);
+        EXPECT_EQ(sa.attrs.work, sb.attrs.work);
+        EXPECT_EQ(sa.attrs.bytes, sb.attrs.bytes);
+        EXPECT_EQ(sa.attrs.coalesced_transactions, sb.attrs.coalesced_transactions);
+        EXPECT_EQ(sa.attrs.strided_transactions, sb.attrs.strided_transactions);
+    }
+}
+
+TEST(PoolDeterminism, AllAlgorithmsExecutorsAndModes) {
+    util::ThreadPool inline_pool(0);
+    util::ThreadPool pool(pooled_workers());
+    for (const AlgoCase& c : algo_cases()) {
+        const std::uint64_t n = c.base << 10;  // 10 levels: several waves at g = 64
+        const auto input = make_input(n);
+        for (const bool functional : {true, false}) {
+            for (int e = 0; e < 6; ++e) {
+                SCOPED_TRACE(::testing::Message()
+                             << "alg=" << c.alg->name() << " executor=" << kExecutors[e]
+                             << " functional=" << functional
+                             << " workers=" << pool.worker_count());
+                const auto serial = run_one(&inline_pool, e, *c.alg, input, functional);
+                const auto pooled = run_one(&pool, e, *c.alg, input, functional);
+                expect_identical(serial, pooled);
+                // A null pool is the same configuration as a zero-worker one.
+                const auto nopool = run_one(nullptr, e, *c.alg, input, functional);
+                expect_identical(serial, nopool);
+            }
+        }
+    }
+}
+
+// Raw device layer: non-uniform per-item charges across several waves.
+// The pooled fold must reproduce the serial max/sum sequence exactly —
+// LaunchResult, DeviceStats, and the per-wave trace records all match.
+TEST(PoolDeterminism, DeviceNonUniformWavesMatchSerial) {
+    sim::DeviceParams dp = small_hw().gpu;
+    dp.g = 8;  // 125 waves at 1000 items
+    auto kernel = [](sim::WorkItem& wi) {
+        const std::uint64_t id = wi.global_id();
+        wi.charge_compute(1 + (id * 2654435761ull) % 97);
+        wi.charge_mem(1 + id % 5, sim::Pattern::kCoalesced);
+        if (id % 3 == 0) wi.charge_mem(2, sim::Pattern::kStrided);
+    };
+
+    sim::Device serial(dp);
+    std::vector<sim::WaveTrace> serial_waves;
+    serial.set_wave_trace(&serial_waves);
+    const sim::LaunchResult rs = serial.launch(1000, kernel);
+
+    util::ThreadPool pool(pooled_workers());
+    sim::Device pooled(dp, &pool);
+    std::vector<sim::WaveTrace> pooled_waves;
+    pooled.set_wave_trace(&pooled_waves);
+    const sim::LaunchResult rp = pooled.launch(1000, kernel);
+
+    EXPECT_EQ(rs.time, rp.time);
+    EXPECT_EQ(rs.items, rp.items);
+    EXPECT_EQ(rs.waves, rp.waves);
+    EXPECT_EQ(rs.max_item_ops, rp.max_item_ops);
+    EXPECT_EQ(rs.total_ops.compute, rp.total_ops.compute);
+    EXPECT_EQ(rs.total_ops.mem_coalesced, rp.total_ops.mem_coalesced);
+    EXPECT_EQ(rs.total_ops.mem_strided, rp.total_ops.mem_strided);
+    EXPECT_EQ(serial.stats().busy_time, pooled.stats().busy_time);
+
+    ASSERT_EQ(serial_waves.size(), pooled_waves.size());
+    for (std::size_t w = 0; w < serial_waves.size(); ++w) {
+        SCOPED_TRACE(::testing::Message() << "wave " << w);
+        EXPECT_EQ(serial_waves[w].first_item, pooled_waves[w].first_item);
+        EXPECT_EQ(serial_waves[w].items, pooled_waves[w].items);
+        EXPECT_EQ(serial_waves[w].duration, pooled_waves[w].duration);
+        EXPECT_EQ(serial_waves[w].max_item_ops, pooled_waves[w].max_item_ops);
+        EXPECT_EQ(serial_waves[w].ops.compute, pooled_waves[w].ops.compute);
+        EXPECT_EQ(serial_waves[w].ops.mem_coalesced, pooled_waves[w].ops.mem_coalesced);
+        EXPECT_EQ(serial_waves[w].ops.mem_strided, pooled_waves[w].ops.mem_strided);
+    }
+}
+
+// Raw CPU layer: the pooled fold must keep the full per-category OpCounter
+// split (compute / coalesced / strided), not just the scalar totals — the
+// regression this test pins collapsed everything into `compute`.
+TEST(PoolDeterminism, CpuLevelKeepsCategorySplit) {
+    sim::CpuParams cp = small_hw().cpu;
+    auto task = [](std::uint64_t i, sim::OpCounter& ops) {
+        ops.charge_compute(3 + i % 11);
+        ops.charge_mem(2 + i % 4, sim::Pattern::kCoalesced);
+        if (i % 2 == 0) ops.charge_mem(1 + i % 3, sim::Pattern::kStrided);
+    };
+
+    sim::CpuUnit serial(cp);
+    const sim::LevelResult rs = serial.run_level(777, task);
+
+    util::ThreadPool pool(pooled_workers());
+    sim::CpuUnit pooled(cp, &pool);
+    const sim::LevelResult rp = pooled.run_level(777, task);
+
+    EXPECT_EQ(rs.time, rp.time);
+    EXPECT_EQ(rs.tasks, rp.tasks);
+    EXPECT_EQ(rs.max_task_ops, rp.max_task_ops);
+    EXPECT_EQ(rs.total_ops.compute, rp.total_ops.compute);
+    EXPECT_EQ(rs.total_ops.mem_coalesced, rp.total_ops.mem_coalesced);
+    EXPECT_EQ(rs.total_ops.mem_strided, rp.total_ops.mem_strided);
+    EXPECT_GT(rp.total_ops.mem_coalesced, 0u);  // the split actually survived
+    EXPECT_GT(rp.total_ops.mem_strided, 0u);
+}
+
+}  // namespace
+}  // namespace hpu::core

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <numeric>
+#include <queue>
 #include <sstream>
 
 #include "util/check.hpp"
@@ -133,6 +136,65 @@ TEST(Makespan, EmptyAndErrors) {
     EXPECT_THROW(makespan(none, 0), HpuError);
 }
 
+// Reference implementation of list scheduling (min-heap, ties broken on the
+// core index) used to pin the uniform-cost fast paths to the general path.
+std::vector<std::size_t> reference_assignment(const std::vector<std::uint64_t>& costs,
+                                              std::size_t cores, ListOrder order) {
+    std::vector<std::size_t> idx(costs.size());
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
+    if (order == ListOrder::kLpt) {
+        std::stable_sort(idx.begin(), idx.end(),
+                         [&](std::size_t a, std::size_t b) { return costs[a] > costs[b]; });
+    }
+    using Slot = std::pair<std::uint64_t, std::size_t>;
+    std::priority_queue<Slot, std::vector<Slot>, std::greater<>> heap;
+    for (std::size_t c = 0; c < cores; ++c) heap.emplace(0, c);
+    std::vector<std::size_t> assign(costs.size());
+    for (std::size_t i : idx) {
+        auto [load, core] = heap.top();
+        heap.pop();
+        assign[i] = core;
+        heap.emplace(load + costs[i], core);
+    }
+    return assign;
+}
+
+TEST(Makespan, UniformAssignmentMatchesGeneralPath) {
+    // The production fast path kicks in for uniform costs; the reference
+    // heap here has no fast path, so equality pins the round-robin claim.
+    for (std::size_t m : {1u, 4u, 7u, 64u, 129u}) {
+        for (std::size_t p : {1u, 2u, 3u, 8u, 200u}) {
+            std::vector<std::uint64_t> costs(m, 17);
+            for (auto order : {ListOrder::kArrival, ListOrder::kLpt}) {
+                const auto fast = list_assignment(costs, p, order);
+                const auto ref = reference_assignment(costs, p, order);
+                EXPECT_EQ(fast, ref) << "m=" << m << " p=" << p;
+                for (std::size_t i = 0; i < m; ++i) EXPECT_EQ(fast[i], i % p);
+            }
+        }
+    }
+}
+
+TEST(Makespan, UniformMakespanMatchesGeneralPath) {
+    // Force the general path by perturbing one cost back and forth: a
+    // vector with a single distinct element exercises the heap, and
+    // restoring uniformity must reproduce the closed form.
+    for (std::size_t m : {3u, 10u, 100u}) {
+        for (std::size_t p : {1u, 2u, 5u}) {
+            std::vector<std::uint64_t> costs(m, 6);
+            EXPECT_EQ(makespan(costs, p), uniform_makespan(m, 6, p));
+            EXPECT_EQ(makespan(costs, p, ListOrder::kLpt), uniform_makespan(m, 6, p));
+        }
+    }
+}
+
+TEST(Makespan, NonUniformAssignmentUntouchedByFastPath) {
+    std::vector<std::uint64_t> costs = {5, 3, 8, 2, 7, 1, 5, 5};
+    for (auto order : {ListOrder::kArrival, ListOrder::kLpt}) {
+        EXPECT_EQ(list_assignment(costs, 3, order), reference_assignment(costs, 3, order));
+    }
+}
+
 TEST(ThreadPool, InlineModeRunsEverything) {
     ThreadPool pool(0);
     std::vector<int> hit(100, 0);
@@ -163,6 +225,92 @@ TEST(ThreadPool, PropagatesTaskException) {
 TEST(ThreadPool, ZeroCountIsNoop) {
     ThreadPool pool(2);
     pool.parallel_for(0, [](std::size_t) { FAIL() << "should not run"; });
+}
+
+TEST(ThreadPool, NestedParallelForIsRejected) {
+    ThreadPool pool(2);
+    EXPECT_THROW(pool.parallel_for(4,
+                                   [&](std::size_t) {
+                                       pool.parallel_for(2, [](std::size_t) {});
+                                   }),
+                 HpuError);
+    // Non-reentrancy must not wedge the pool.
+    std::atomic<int> n{0};
+    pool.parallel_for(8, [&](std::size_t) { n.fetch_add(1); });
+    EXPECT_EQ(n.load(), 8);
+}
+
+TEST(ThreadPool, InlineModeAllowsNesting) {
+    // With zero workers parallel_for is a plain loop, so nesting is legal —
+    // the sequential reference configuration must not hit the reentrancy
+    // check.
+    ThreadPool pool(0);
+    std::atomic<int> n{0};
+    pool.parallel_for(3, [&](std::size_t) {
+        pool.parallel_for(3, [&](std::size_t) { n.fetch_add(1); });
+    });
+    EXPECT_EQ(n.load(), 9);
+}
+
+TEST(ThreadPool, ManySmallBatchesStress) {
+    // Submit/teardown churn: lots of tiny batches, including single-index
+    // ones, exercising the batch lifecycle protocol far more often than the
+    // chunk loop.
+    ThreadPool pool(4);
+    std::uint64_t total = 0;
+    for (int round = 0; round < 2000; ++round) {
+        std::atomic<std::uint64_t> sum{0};
+        const std::size_t count = 1 + static_cast<std::size_t>(round % 7);
+        pool.parallel_for(count, [&](std::size_t i) {
+            sum.fetch_add(i + 1, std::memory_order_relaxed);
+        });
+        EXPECT_EQ(sum.load(), count * (count + 1) / 2);
+        total += sum.load();
+    }
+    EXPECT_GT(total, 0u);
+}
+
+TEST(ThreadPool, LargeCountChunkedClaiming) {
+    // Big enough that the auto grain hands out multi-index chunks; every
+    // index must still be claimed exactly once.
+    ThreadPool pool(3);
+    const std::size_t n = 1 << 18;
+    std::vector<std::atomic<std::uint8_t>> hits(n);
+    pool.parallel_for(n, [&](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ExplicitGrainRunsEverythingOnce) {
+    ThreadPool pool(2);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); }, /*grain=*/7);
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, FirstExceptionWinsAndSkipsRemainder) {
+    // With grain 1 and a failure at index 0, the abandon flag must stop
+    // not-yet-claimed chunks from running their bodies; exactly one error
+    // reaches the caller either way.
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    try {
+        pool.parallel_for(1 << 14,
+                          [&](std::size_t i) {
+                              if (i == 0) throw std::runtime_error("first");
+                              ran.fetch_add(1, std::memory_order_relaxed);
+                          },
+                          /*grain=*/1);
+        FAIL() << "expected exception";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "first");
+    }
+    EXPECT_LT(ran.load(), 1 << 14);  // some tail was abandoned
+    // And the pool stays healthy.
+    std::atomic<int> n{0};
+    pool.parallel_for(16, [&](std::size_t) { n.fetch_add(1); });
+    EXPECT_EQ(n.load(), 16);
 }
 
 TEST(Table, AlignsAndPrints) {
