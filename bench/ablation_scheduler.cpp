@@ -8,7 +8,11 @@
 // --trace attaches to the pipelined run on the first platform (or the
 // advanced run when pipelining is off) — the export shows the K input
 // chunk slices on the link track nested under the gpu phase.
+//
+// --workers=<k|hw> threads the functional execution through a host pool
+// (virtual times are pool-invariant; only wall time moves).
 #include "common.hpp"
+#include "util/thread_pool.hpp"
 
 int main(int argc, char** argv) {
     using namespace hpu;
@@ -16,6 +20,7 @@ int main(int argc, char** argv) {
     const std::uint64_t n = static_cast<std::uint64_t>(cli.get_int("n", 1 << 20));
     const std::uint64_t chunks =
         cli.has("pipeline") ? bench::pipeline_chunks(cli) : 4;
+    util::ThreadPool pool(cli.has("workers") ? bench::worker_threads(cli) : 0);
 
     algos::MergesortCoalesced<std::int32_t> alg;
     core::ExecOptions opts = bench::exec_options(cli);
@@ -38,7 +43,7 @@ int main(int argc, char** argv) {
 
         std::cout << "Scheduler ablation (" << spec.name << "), mergesort, n=" << n << "\n";
         util::Table t({"strategy", "time (ticks)", "speedup vs 1-core"}, 3);
-        sim::Hpu h(spec.params);
+        sim::Hpu h(spec.params, &pool);
         auto d = base;
         const auto seq = core::run_sequential(h.cpu(), alg, std::span(d), opts);
         t.add_row({std::string("sequential (1 core)"), seq.total, 1.0});

@@ -24,9 +24,14 @@
 //                    scheduler's no-win guard may still fall back to K=1)
 //   --workers=<k>    host threads for functional execution (see
 //                    worker_threads below; 0 = inline on the caller —
-//                    virtual times are identical either way, DESIGN.md §10)
+//                    virtual times are identical either way, DESIGN.md §10;
+//                    --workers=hw asks for hardware_concurrency)
+//   --out-dir=<dir>  directory for artifact files (traces, bench JSON,
+//                    profiles); bare filenames resolve into it, paths with
+//                    a directory component pass through untouched
 #pragma once
 
+#include <filesystem>
 #include <iostream>
 #include <thread>
 
@@ -78,9 +83,25 @@ inline std::uint64_t pipeline_chunks(const util::Cli& cli) {
 /// thread drains chunks too, so k workers occupy k+1 cores); 0 = inline.
 inline std::size_t worker_threads(const util::Cli& cli) {
     const auto hc = std::max(1u, std::thread::hardware_concurrency());
+    if (cli.get("workers", "") == "hw") return hc;
     const auto def = static_cast<std::int64_t>(hc > 1 ? hc - 1 : 0);
     const std::int64_t k = cli.get_int("workers", def);
     return k > 0 ? static_cast<std::size_t>(k) : 0;
+}
+
+/// Resolves a bare artifact filename against --out-dir (creating it on
+/// demand). Absolute paths and paths that already carry a directory
+/// component pass through, so explicit --trace=build/foo.json keeps
+/// working next to --out-dir.
+inline std::string out_path(const util::Cli& cli, const std::string& name) {
+    namespace fs = std::filesystem;
+    const std::string dir = cli.get("out-dir", "");
+    if (name.empty() || dir.empty()) return name;
+    const fs::path p(name);
+    if (p.is_absolute() || p.has_parent_path()) return name;
+    std::error_code ec;
+    fs::create_directories(dir, ec);  // best effort; open reports failure
+    return (fs::path(dir) / p).string();
 }
 
 /// Platforms selected by --platform (default: both).
@@ -96,7 +117,8 @@ inline std::vector<platforms::PlatformSpec> selected_platforms(const util::Cli& 
 class TraceSink {
 public:
     explicit TraceSink(const util::Cli& cli)
-        : path_(cli.get("trace", "")), utilization_(cli.get_bool("utilization", false)) {}
+        : path_(out_path(cli, cli.get("trace", ""))),
+          utilization_(cli.get_bool("utilization", false)) {}
 
     /// Non-null when the user asked for any trace output.
     trace::TraceSession* session() { return active() ? &session_ : nullptr; }

@@ -22,6 +22,13 @@
 //   --lgmax=<l>    largest size as log2(n)         (default 24)
 //   --step=<s>     log2 stride through the sweep   (default 2)
 //   --out=<file>   JSON artifact path              (default BENCH_wallclock.json)
+//   --profile      after the sweep, rerun every executor at the largest
+//                  size with ExecOptions::profile on and derive the
+//                  dual-clock ProfileReport (wall vs virtual per phase,
+//                  pool host efficiency); prints the report and writes
+//                  --profile-out=<f>  (default PROFILE_wallclock.json)
+//                  --prom-out=<f>     (default METRICS_wallclock.prom,
+//                  Prometheus text format: pool telemetry + sim counters)
 //
 // Runs are functional by definition here (--functional is implied): the
 // analytic fast path executes no task bodies, so there is nothing for a
@@ -30,6 +37,10 @@
 #include <thread>
 
 #include "common.hpp"
+#include "metrics/export.hpp"
+#include "metrics/profile.hpp"
+#include "metrics/registry.hpp"
+#include "trace/counters.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
@@ -53,12 +64,14 @@ struct Entry {
 double timed_run(util::ThreadPool* pool, int executor, const sim::HpuParams& hw,
                  const algos::MergesortCoalesced<std::int32_t>& alg,
                  const std::vector<std::int32_t>& input, double alpha, std::uint64_t y,
-                 std::uint64_t chunks) {
+                 std::uint64_t chunks, trace::TraceSession* trace = nullptr) {
     sim::Hpu h(hw, pool);
     std::vector<std::int32_t> data = input;
     core::ExecOptions opts;
     opts.functional = true;
     opts.validate = false;
+    opts.trace = trace;
+    opts.profile = trace != nullptr;
     std::span<std::int32_t> d(data);
     util::Stopwatch sw;
     switch (executor) {
@@ -119,7 +132,7 @@ int main(int argc, char** argv) {
     const int lg_min = static_cast<int>(cli.get_int("lgmin", 18));
     const int lg_max = static_cast<int>(cli.get_int("lgmax", 24));
     const int step = static_cast<int>(cli.get_int("step", 2));
-    const std::string out = cli.get("out", "BENCH_wallclock.json");
+    const std::string out = bench::out_path(cli, cli.get("out", "BENCH_wallclock.json"));
     const std::uint64_t chunks = std::max<std::uint64_t>(1, bench::pipeline_chunks(cli));
 
     const platforms::PlatformSpec spec =
@@ -157,5 +170,52 @@ int main(int argc, char** argv) {
 
     bench::emit(t, cli);
     write_json(out, spec.name, hc, entries);
+
+    // --profile: one instrumented pass per executor at the largest size,
+    // all into one session, pooled. The virtual results are identical to
+    // the timed sweep above (zero-perturbation invariant, enforced by
+    // tests/metrics_test.cpp); this pass only adds the wall annotations
+    // the ProfileReport joins against.
+    if (cli.get_bool("profile", false)) {
+        const std::string profile_out =
+            bench::out_path(cli, cli.get("profile-out", "PROFILE_wallclock.json"));
+        const std::string prom_out =
+            bench::out_path(cli, cli.get("prom-out", "METRICS_wallclock.prom"));
+
+        const std::uint64_t n = 1ull << lg_max;
+        util::Rng rng(bench::input_seed(cli, n));
+        const auto input = rng.int_vector(n, 0, static_cast<std::int64_t>(2 * n));
+        model::AdvancedModel m(spec.params, alg.recurrence(), static_cast<double>(n));
+        const auto opt = m.optimize();
+        const auto y = std::clamp<std::uint64_t>(
+            static_cast<std::uint64_t>(std::llround(opt.y)), 1,
+            static_cast<std::uint64_t>(lg_max));
+
+        trace::TraceSession ts;
+        pool.reset_telemetry();
+        for (int e = 0; e < 6; ++e) {
+            timed_run(&pool, e, spec.params, alg, input, opt.alpha, y, chunks, &ts);
+        }
+        const util::PoolTelemetry tel = pool.telemetry();
+
+        const metrics::ProfileReport prof = metrics::derive_profile(ts, &tel);
+        std::cout << "\n=== dual-clock profile (n=" << n << ", workers=" << workers
+                  << ") ===\n";
+        prof.print(std::cout);
+        if (metrics::write_profile_json_file(prof, profile_out)) {
+            std::cout << "profile -> " << profile_out << "\n";
+        } else {
+            std::cerr << "cannot write " << profile_out << "\n";
+        }
+
+        metrics::RegistrySnapshot snap = metrics::registry().snapshot();
+        metrics::publish_pool(snap, tel);
+        metrics::publish_counters(snap, trace::counters().snapshot());
+        if (metrics::write_prometheus_file(snap, prom_out)) {
+            std::cout << "metrics -> " << prom_out << "\n";
+        } else {
+            std::cerr << "cannot write " << prom_out << "\n";
+        }
+    }
     return 0;
 }

@@ -17,7 +17,9 @@
 //
 // Build: cmake --build build && ./build/examples/trace_explorer
 // Flags: --n=<elems> --functional --csv-spans (dump raw span CSV instead
-//        of the utilization tables)
+//        of the utilization tables) --out-dir=<dir> (directory for the
+//        three trace JSON files; default: current directory)
+#include <filesystem>
 #include <iostream>
 
 #include "algos/mergesort.hpp"
@@ -106,9 +108,18 @@ int main(int argc, char** argv) {
             .print(std::cout);
     }
 
-    const char* basic_path = "trace_basic.json";
-    const char* adv_path = "trace_advanced.json";
-    const char* pip_path = "trace_pipelined.json";
+    namespace fs = std::filesystem;
+    const std::string out_dir = cli.get("out-dir", "");
+    if (!out_dir.empty()) {
+        std::error_code ec;
+        fs::create_directories(out_dir, ec);
+    }
+    auto out_path = [&](const char* name) {
+        return out_dir.empty() ? std::string(name) : (fs::path(out_dir) / name).string();
+    };
+    const std::string basic_path = out_path("trace_basic.json");
+    const std::string adv_path = out_path("trace_advanced.json");
+    const std::string pip_path = out_path("trace_pipelined.json");
     if (trace::write_chrome_file(basic_trace, basic_path) &&
         trace::write_chrome_file(adv_trace, adv_path) &&
         trace::write_chrome_file(pip_trace, pip_path)) {

@@ -44,8 +44,13 @@
 #include "trace/span.hpp"
 #include "util/check.hpp"
 #include "util/math.hpp"
+#include "util/stopwatch.hpp"
 
 namespace hpu::core {
+
+/// HPU_PROFILE environment default for ExecOptions::profile (same
+/// convention as HPU_VALIDATE).
+inline bool env_profile_default() { return analysis::env_flag_enabled("HPU_PROFILE"); }
 
 /// Execution knobs shared by all executors.
 struct ExecOptions {
@@ -67,6 +72,14 @@ struct ExecOptions {
     /// session is not owned and may accumulate several runs. No effect on
     /// the virtual clock.
     trace::TraceSession* trace = nullptr;
+    /// Stamp wall-clock (host) time onto the recorded trace spans: each
+    /// functional level / leaf sweep / hook / transfer span, plus the run
+    /// root, gets wall_start_ns / wall_ns filled in. Requires `trace`;
+    /// no-op without it. The wall stamps feed metrics::derive_profile; the
+    /// virtual-clock side of the spans and the ExecReport stay
+    /// byte-identical with profiling on or off (enforced by test). Off
+    /// unless requested here or via the HPU_PROFILE environment variable.
+    bool profile = env_profile_default();
 };
 
 /// Where time went; every executor fills one of these.
@@ -115,14 +128,30 @@ struct SpanCtx {
     trace::SpanId parent = trace::kNoSpan;
     sim::Ticks at = 0.0;
     std::uint64_t level = trace::SpanAttrs::kNoLevel;
+    bool profile = false;  ///< stamp wall time onto recorded spans
 
     bool on() const noexcept { return session != nullptr; }
 
     /// Same sink/parent, shifted clock (and optionally a level index).
     SpanCtx shifted(sim::Ticks by, std::uint64_t lvl = trace::SpanAttrs::kNoLevel) const {
-        return SpanCtx{session, parent, at + by, lvl};
+        return SpanCtx{session, parent, at + by, lvl, profile};
+    }
+
+    /// now_ns() when profiling this span tree, else 0 ("not profiled") —
+    /// the token annotate_wall() later turns into a wall stamp.
+    std::uint64_t wall_start() const noexcept {
+        return (profile && session != nullptr) ? util::now_ns() : 0;
     }
 };
+
+/// Stamps wall time onto a recorded span: `w0` is the wall_start() token
+/// taken before the work; elapsed is clamped up to 1 ns so a profiled span
+/// is always distinguishable from an unprofiled one (wall_ns == 0).
+inline void annotate_wall(const SpanCtx& tc, trace::SpanId id, std::uint64_t w0) {
+    if (w0 == 0 || id == trace::kNoSpan || tc.session == nullptr) return;
+    const std::uint64_t t1 = util::now_ns();
+    tc.session->annotate_wall(id, w0, t1 > w0 ? t1 - w0 : 1);
+}
 
 /// Clears the device's wave sink on scope exit (kernel bodies may throw).
 class WaveTraceGuard {
@@ -139,7 +168,7 @@ private:
 };
 
 /// Records the level span of one device launch plus its per-wave children.
-inline void trace_gpu_launch(const SpanCtx& tc, const std::string& name, const char* phase,
+inline trace::SpanId trace_gpu_launch(const SpanCtx& tc, const std::string& name, const char* phase,
                              const sim::Device& dev, const sim::LaunchResult& r,
                              std::uint64_t tasks, const std::vector<sim::WaveTrace>& waves,
                              trace::SpanKind kind) {
@@ -168,25 +197,28 @@ inline void trace_gpu_launch(const SpanCtx& tc, const std::string& name, const c
                            launch_label(name, "wave", w.items), cursor, w.duration, wa, lvl);
         cursor += w.duration;
     }
+    return lvl;
 }
 
 /// Records the span of one CPU level/leaf sweep from its LevelResult.
-inline void trace_cpu_level(const SpanCtx& tc, const std::string& name, const char* phase,
-                            const sim::LevelResult& r, trace::SpanKind kind) {
+inline trace::SpanId trace_cpu_level(const SpanCtx& tc, const std::string& name,
+                                     const char* phase, const sim::LevelResult& r,
+                                     trace::SpanKind kind) {
     trace::SpanAttrs a;
     a.level = tc.level;
     a.tasks = r.tasks;
     a.ops = static_cast<double>(r.total_ops.cpu_ops());
     a.work = a.ops;
-    tc.session->record(kind, trace::Unit::kCpu, launch_label(name, phase, r.tasks), tc.at,
-                       r.time, a, tc.parent);
+    return tc.session->record(kind, trace::Unit::kCpu, launch_label(name, phase, r.tasks),
+                              tc.at, r.time, a, tc.parent);
 }
 
 /// Records an analytic (not executed) level span on either unit.
-inline void trace_analytic_level(const SpanCtx& tc, const std::string& name, const char* phase,
-                                 trace::Unit unit, std::uint64_t tasks, double work,
-                                 double unit_ops, sim::Ticks time, trace::SpanKind kind,
-                                 std::uint64_t g = 0) {
+inline trace::SpanId trace_analytic_level(const SpanCtx& tc, const std::string& name,
+                                          const char* phase, trace::Unit unit,
+                                          std::uint64_t tasks, double work, double unit_ops,
+                                          sim::Ticks time, trace::SpanKind kind,
+                                          std::uint64_t g = 0) {
     trace::SpanAttrs a;
     a.level = tc.level;
     a.tasks = tasks;
@@ -196,8 +228,8 @@ inline void trace_analytic_level(const SpanCtx& tc, const std::string& name, con
         a.items = tasks;
         a.waves = util::ceil_div(tasks, g);
     }
-    tc.session->record(kind, unit, launch_label(name, phase, tasks), tc.at, time, a,
-                       tc.parent);
+    return tc.session->record(kind, unit, launch_label(name, phase, tasks), tc.at, time, a,
+                              tc.parent);
 }
 
 /// CPU time of one level in analytic mode (uniform tasks).
@@ -225,6 +257,7 @@ sim::Ticks functional_cpu_level(sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg,
                                 const ExecOptions& opts,
                                 analysis::AnalysisReport* report = nullptr,
                                 const SpanCtx& tc = {}) {
+    const std::uint64_t w0 = tc.wall_start();
     sim::LevelResult r;
     if (report == nullptr) {
         r = cpu.run_level(
@@ -243,7 +276,11 @@ sim::Ticks functional_cpu_level(sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg,
         analysis::detect_races(logs, cpu.params().p,
                                launch_label(alg.name(), "cpu-level", tasks), *report);
     }
-    if (tc.on()) trace_cpu_level(tc, alg.name(), "cpu-level", r, trace::SpanKind::kLevel);
+    if (tc.on()) {
+        annotate_wall(tc, trace_cpu_level(tc, alg.name(), "cpu-level", r,
+                                          trace::SpanKind::kLevel),
+                      w0);
+    }
     return r.time;
 }
 
@@ -256,6 +293,7 @@ sim::Ticks functional_gpu_level(sim::Device& dev, const LevelAlgorithm<T>& alg,
                                 std::span<T> device_data, std::uint64_t tasks,
                                 analysis::AnalysisReport* report = nullptr,
                                 const SpanCtx& tc = {}) {
+    const std::uint64_t w0 = tc.wall_start();
     std::vector<sim::WaveTrace> waves;
     WaveTraceGuard guard(dev, tc.on() ? &waves : nullptr);
     sim::LaunchResult r;
@@ -283,8 +321,10 @@ sim::Ticks functional_gpu_level(sim::Device& dev, const LevelAlgorithm<T>& alg,
         if (finding) report->add(std::move(*finding));
     }
     if (tc.on()) {
-        trace_gpu_launch(tc, alg.name(), "gpu-level", dev, r, tasks, waves,
-                         trace::SpanKind::kLevel);
+        annotate_wall(tc,
+                      trace_gpu_launch(tc, alg.name(), "gpu-level", dev, r, tasks, waves,
+                                       trace::SpanKind::kLevel),
+                      w0);
     }
     return r.time;
 }
@@ -297,16 +337,20 @@ inline sim::Ticks hook_time(const sim::Device& dev, const sim::OpCounter& ops) {
 }
 
 /// hook_time plus an optional kHook span (skipped when the hook charged
-/// nothing — most algorithms have empty hooks).
+/// nothing — most algorithms have empty hooks). `wall0` is a wall_start()
+/// token taken before the hook body executed; 0 = not profiled.
 inline sim::Ticks traced_hook(const sim::Device& dev, const sim::OpCounter& ops,
-                              const std::string& name, const char* what, const SpanCtx& tc) {
+                              const std::string& name, const char* what, const SpanCtx& tc,
+                              std::uint64_t wall0 = 0) {
     const sim::Ticks t = hook_time(dev, ops);
     if (tc.on() && t > 0.0) {
         trace::SpanAttrs a;
         a.ops = ops.gpu_ops(dev.params().strided_penalty);
         a.work = static_cast<double>(ops.cpu_ops());
-        tc.session->record(trace::SpanKind::kHook, trace::Unit::kGpu, phase_label(name, what),
-                           tc.at, t, a, tc.parent);
+        const trace::SpanId id =
+            tc.session->record(trace::SpanKind::kHook, trace::Unit::kGpu,
+                               phase_label(name, what), tc.at, t, a, tc.parent);
+        annotate_wall(tc, id, wall0);
     }
     return t;
 }
@@ -335,6 +379,7 @@ sim::Ticks analytic_gpu_level(const sim::Device& dev, const LevelAlgorithm<T>& a
 template <typename T>
 sim::Ticks host_pre_pass(const LevelAlgorithm<T>& alg, std::span<T> data, std::size_t p,
                          const SpanCtx& tc = {}) {
+    const std::uint64_t w0 = tc.wall_start();
     sim::OpCounter pre;
     alg.before_run(data, pre);
     const sim::Ticks t = static_cast<sim::Ticks>(pre.cpu_ops()) / static_cast<double>(p);
@@ -342,8 +387,10 @@ sim::Ticks host_pre_pass(const LevelAlgorithm<T>& alg, std::span<T> data, std::s
         trace::SpanAttrs a;
         a.ops = static_cast<double>(pre.cpu_ops());
         a.work = a.ops;
-        tc.session->record(trace::SpanKind::kHook, trace::Unit::kCpu,
-                           phase_label(alg.name(), "pre"), tc.at, t, a, tc.parent);
+        const trace::SpanId id =
+            tc.session->record(trace::SpanKind::kHook, trace::Unit::kCpu,
+                               phase_label(alg.name(), "pre"), tc.at, t, a, tc.parent);
+        annotate_wall(tc, id, w0);
     }
     return t;
 }
@@ -357,6 +404,7 @@ sim::Ticks cpu_leaves(sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg, std::span
     const std::uint64_t count = region.size() / alg.base_size();
     if (count == 0) return 0.0;
     if (functional && alg.has_leaf_work()) {
+        const std::uint64_t w0 = tc.wall_start();
         sim::LevelResult r;
         if (report == nullptr) {
             r = cpu.run_level(count, [&](std::uint64_t j, sim::OpCounter& ops) {
@@ -372,7 +420,9 @@ sim::Ticks cpu_leaves(sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg, std::span
                                    launch_label(alg.name(), "cpu-leaves", count), *report);
         }
         if (tc.on()) {
-            trace_cpu_level(tc, alg.name(), "cpu-leaves", r, trace::SpanKind::kLeaves);
+            annotate_wall(tc, trace_cpu_level(tc, alg.name(), "cpu-leaves", r,
+                                              trace::SpanKind::kLeaves),
+                          w0);
         }
         return r.time;
     }
@@ -393,6 +443,7 @@ sim::Ticks gpu_leaves(sim::Device& dev, const LevelAlgorithm<T>& alg, std::span<
     const std::uint64_t count = region.size() / alg.base_size();
     if (count == 0) return 0.0;
     if (functional && alg.has_leaf_work()) {
+        const std::uint64_t w0 = tc.wall_start();
         std::vector<sim::WaveTrace> waves;
         WaveTraceGuard guard(dev, tc.on() ? &waves : nullptr);
         sim::LaunchResult r;
@@ -410,8 +461,10 @@ sim::Ticks gpu_leaves(sim::Device& dev, const LevelAlgorithm<T>& alg, std::span<
                                    launch_label(alg.name(), "gpu-leaves", count), *report);
         }
         if (tc.on()) {
-            trace_gpu_launch(tc, alg.name(), "gpu-leaves", dev, r, count, waves,
-                             trace::SpanKind::kLeaves);
+            annotate_wall(tc,
+                          trace_gpu_launch(tc, alg.name(), "gpu-leaves", dev, r, count, waves,
+                                           trace::SpanKind::kLeaves),
+                          w0);
         }
         return r.time;
     }
@@ -436,23 +489,38 @@ inline trace::SpanId open_run(const ExecOptions& opts, const std::string& name,
     if (opts.trace == nullptr) return trace::kNoSpan;
     trace::SpanAttrs a;
     a.items = n;
-    return opts.trace->record(trace::SpanKind::kRun, trace::Unit::kHost,
-                              phase_label(name, executor), 0.0, 0.0, a);
+    const trace::SpanId id = opts.trace->record(trace::SpanKind::kRun, trace::Unit::kHost,
+                                                phase_label(name, executor), 0.0, 0.0, a);
+    // Profiling stashes the wall start on the open span; close_run turns it
+    // into the run's wall duration (wall_ns stays 0 — "unprofiled" — until
+    // then).
+    if (opts.profile) opts.trace->annotate_wall(id, util::now_ns(), 0);
+    return id;
 }
 
 inline void close_run(const ExecOptions& opts, trace::SpanId run, sim::Ticks total) {
-    if (opts.trace != nullptr && run != trace::kNoSpan) opts.trace->close(run, total);
+    if (opts.trace == nullptr || run == trace::kNoSpan) return;
+    opts.trace->close(run, total);
+    const std::uint64_t w0 = opts.trace->span(run).wall_start_ns;
+    if (opts.profile && w0 != 0) {
+        const std::uint64_t t1 = util::now_ns();
+        opts.trace->annotate_wall(run, w0, t1 > w0 ? t1 - w0 : 1);
+    }
 }
 
-/// Records a link-transfer span.
+/// Records a link-transfer span. `wall0` is a wall_start() token taken
+/// before the physical copy; 0 = not profiled.
 inline void trace_transfer(const SpanCtx& tc, const std::string& name, const char* what,
-                           std::uint64_t words, std::uint64_t bytes, sim::Ticks time) {
+                           std::uint64_t words, std::uint64_t bytes, sim::Ticks time,
+                           std::uint64_t wall0 = 0) {
     if (!tc.on()) return;
     trace::SpanAttrs a;
     a.items = words;
     a.bytes = bytes;
-    tc.session->record(trace::SpanKind::kTransfer, trace::Unit::kLink,
-                       phase_label(name, what), tc.at, time, a, tc.parent);
+    const trace::SpanId id =
+        tc.session->record(trace::SpanKind::kTransfer, trace::Unit::kLink,
+                           phase_label(name, what), tc.at, time, a, tc.parent);
+    annotate_wall(tc, id, wall0);
 }
 
 /// Opens a phase grouping span under `run`; closed by the caller.
@@ -485,7 +553,7 @@ ExecReport run_sequential(sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg, std::
     rep.trace = opts.trace;
     analysis::AnalysisReport* val = detail::analysis_sink(opts, rep);
     const trace::SpanId run = detail::open_run(opts, alg.name(), "sequential", data.size());
-    const detail::SpanCtx tc{opts.trace, run, 0.0, trace::SpanAttrs::kNoLevel};
+    const detail::SpanCtx tc{opts.trace, run, 0.0, trace::SpanAttrs::kNoLevel, opts.profile};
     rep.cpu_busy += detail::host_pre_pass(alg, data, 1, tc);
     rep.cpu_busy +=
         detail::cpu_leaves(single, alg, data, opts.functional, val, tc.shifted(rep.cpu_busy));
@@ -515,7 +583,7 @@ ExecReport run_multicore(sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg, std::s
     rep.trace = opts.trace;
     analysis::AnalysisReport* val = detail::analysis_sink(opts, rep);
     const trace::SpanId run = detail::open_run(opts, alg.name(), "multicore", data.size());
-    const detail::SpanCtx tc{opts.trace, run, 0.0, trace::SpanAttrs::kNoLevel};
+    const detail::SpanCtx tc{opts.trace, run, 0.0, trace::SpanAttrs::kNoLevel, opts.profile};
     rep.cpu_busy += detail::host_pre_pass(alg, data, cpu.params().p, tc);
     rep.cpu_busy +=
         detail::cpu_leaves(cpu, alg, data, opts.functional, val, tc.shifted(rep.cpu_busy));
@@ -545,7 +613,7 @@ ExecReport run_gpu(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std::span<T> dat
     rep.trace = opts.trace;
     analysis::AnalysisReport* val = detail::analysis_sink(opts, rep);
     const trace::SpanId run = detail::open_run(opts, alg.name(), "gpu", data.size());
-    const detail::SpanCtx tc{opts.trace, run, 0.0, trace::SpanAttrs::kNoLevel};
+    const detail::SpanCtx tc{opts.trace, run, 0.0, trace::SpanAttrs::kNoLevel, opts.profile};
     rep.cpu_busy += detail::host_pre_pass(alg, data, hpu.params().cpu.p, tc);
     // The span clock serializes pre → ship-in → kernels → ship-out, which
     // is exactly how rep.total adds up.
@@ -557,6 +625,7 @@ ExecReport run_gpu(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std::span<T> dat
     std::optional<sim::DeviceBuffer<T>> buf;
     std::vector<sim::BufferEvent> buf_events;
     std::span<T> dspan = data;
+    const std::uint64_t xin_w0 = tc.wall_start();
     if (opts.functional) {
         buf.emplace(std::vector<T>(data.begin(), data.end()));
         if (val != nullptr) buf->set_trace(&buf_events);
@@ -566,17 +635,18 @@ ExecReport run_gpu(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std::span<T> dat
     if (include_transfers) {
         const sim::Ticks x = hpu.transfer_time(data.size());
         detail::trace_transfer(tc.shifted(clock), alg.name(), "xfer-in", data.size(),
-                               data.size() * sizeof(T), x);
+                               data.size() * sizeof(T), x, xin_w0);
         rep.transfer += x;
         clock += x;
     }
 
     if (opts.functional) {
+        const std::uint64_t hw0 = tc.wall_start();
         sim::OpCounter hook_ops;
         alg.before_gpu_levels(dspan, util::ipow(alg.a(), static_cast<std::uint32_t>(L - 1)),
                               hook_ops);
-        const sim::Ticks t =
-            detail::traced_hook(dev, hook_ops, alg.name(), "gpu-pre-hook", tc.shifted(clock));
+        const sim::Ticks t = detail::traced_hook(dev, hook_ops, alg.name(), "gpu-pre-hook",
+                                                 tc.shifted(clock), hw0);
         rep.gpu_busy += t;
         clock += t;
     } else {
@@ -599,10 +669,11 @@ ExecReport run_gpu(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std::span<T> dat
                 detail::functional_gpu_level(dev, alg, dspan, tasks, val, tc.shifted(clock, i));
             rep.gpu_busy += t;
             clock += t;
+            const std::uint64_t hw0 = tc.wall_start();
             sim::OpCounter flip;
             alg.after_gpu_level(dspan, tasks, flip);
             t = detail::traced_hook(dev, flip, alg.name(), "gpu-level-hook",
-                                    tc.shifted(clock));
+                                    tc.shifted(clock), hw0);
             rep.gpu_busy += t;
             clock += t;
         } else {
@@ -615,23 +686,25 @@ ExecReport run_gpu(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std::span<T> dat
     }
 
     if (opts.functional) {
+        const std::uint64_t hw0 = tc.wall_start();
         sim::OpCounter post_ops;
         alg.after_gpu_levels(dspan, 1, post_ops);
-        const sim::Ticks t =
-            detail::traced_hook(dev, post_ops, alg.name(), "gpu-post-hook", tc.shifted(clock));
+        const sim::Ticks t = detail::traced_hook(dev, post_ops, alg.name(), "gpu-post-hook",
+                                                 tc.shifted(clock), hw0);
         rep.gpu_busy += t;
         clock += t;
     }
 
+    const std::uint64_t xout_w0 = tc.wall_start();
+    if (opts.functional) buf->copy_to_host();
     if (include_transfers) {
         const sim::Ticks x = hpu.transfer_time(data.size());
         detail::trace_transfer(tc.shifted(clock), alg.name(), "xfer-out", data.size(),
-                               data.size() * sizeof(T), x);
+                               data.size() * sizeof(T), x, xout_w0);
         rep.transfer += x;
         clock += x;
     }
     if (opts.functional) {
-        buf->copy_to_host();
         std::copy(buf->host_view().begin(), buf->host_view().end(), data.begin());
         if (val != nullptr) {
             analysis::lint_residency(buf_events, alg.name() + "/device-buffer", *val);

@@ -148,13 +148,15 @@ ExecReport run_basic_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std::sp
     // transfer; spans account the pre-pass explicitly, so they start at pre.
     const trace::SpanId gphase =
         detail::open_phase(opts, run, alg.name(), "gpu-phase", trace::Unit::kGpu, pre);
-    const detail::SpanCtx gtc{opts.trace, gphase, pre, trace::SpanAttrs::kNoLevel};
+    const detail::SpanCtx gtc{opts.trace, gphase, pre, trace::SpanAttrs::kNoLevel,
+                              opts.profile};
     sim::Ticks gcur = pre;
 
     // --- Device phase: leaves + levels L-1 .. gpu_top over the whole array.
     std::optional<sim::DeviceBuffer<T>> buf;
     std::vector<sim::BufferEvent> buf_events;
     std::span<T> dspan = data;
+    const std::uint64_t xin_w0 = gtc.wall_start();
     if (opts.functional) {
         buf.emplace(std::vector<T>(data.begin(), data.end()));
         if (val != nullptr) buf->set_trace(&buf_events);
@@ -166,14 +168,15 @@ ExecReport run_basic_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std::sp
                                   phase_label(alg.name(), "xfer-in"), clock,
                                   hpu.transfer_time(data.size()));
     detail::trace_transfer(gtc.shifted(gcur - pre), alg.name(), "xfer-in", data.size(),
-                           data.size() * sizeof(T), hpu.transfer_time(data.size()));
+                           data.size() * sizeof(T), hpu.transfer_time(data.size()), xin_w0);
     gcur += hpu.transfer_time(data.size());
 
     if (opts.functional) {
+        const std::uint64_t hw0 = gtc.wall_start();
         sim::OpCounter hook;
         alg.before_gpu_levels(dspan, shape.tasks_at(shape.L - 1), hook);
         const sim::Ticks t = detail::traced_hook(dev, hook, alg.name(), "gpu-pre-hook",
-                                                 gtc.shifted(gcur - pre));
+                                                 gtc.shifted(gcur - pre), hw0);
         rep.gpu_busy += t;
         gcur += t;
     } else if (gpu_top < shape.L) {
@@ -198,10 +201,11 @@ ExecReport run_basic_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std::sp
                                                         gtc.shifted(gcur - pre, i));
             rep.gpu_busy += t;
             gcur += t;
+            const std::uint64_t hw0 = gtc.wall_start();
             sim::OpCounter flip;
             alg.after_gpu_level(dspan, tasks, flip);
             t = detail::traced_hook(dev, flip, alg.name(), "gpu-level-hook",
-                                    gtc.shifted(gcur - pre));
+                                    gtc.shifted(gcur - pre), hw0);
             rep.gpu_busy += t;
             gcur += t;
         } else {
@@ -213,10 +217,11 @@ ExecReport run_basic_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std::sp
         ++rep.levels_gpu;
     }
     if (opts.functional) {
+        const std::uint64_t hw0 = gtc.wall_start();
         sim::OpCounter post;
         alg.after_gpu_levels(dspan, shape.tasks_at(gpu_top), post);
         const sim::Ticks t = detail::traced_hook(dev, post, alg.name(), "gpu-post-hook",
-                                                 gtc.shifted(gcur - pre));
+                                                 gtc.shifted(gcur - pre), hw0);
         rep.gpu_busy += t;
         gcur += t;
     }
@@ -227,12 +232,13 @@ ExecReport run_basic_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std::sp
     clock = hpu.timeline().record(sim::EventKind::kTransferToCpu,
                                   phase_label(alg.name(), "xfer-out"), clock,
                                   hpu.transfer_time(data.size()));
+    const std::uint64_t xout_w0 = gtc.wall_start();
+    if (opts.functional) buf->copy_to_host();
     detail::trace_transfer(gtc.shifted(gcur - pre), alg.name(), "xfer-out", data.size(),
-                           data.size() * sizeof(T), hpu.transfer_time(data.size()));
+                           data.size() * sizeof(T), hpu.transfer_time(data.size()), xout_w0);
     gcur += hpu.transfer_time(data.size());
     if (opts.trace != nullptr) opts.trace->close(gphase, gcur);
     if (opts.functional) {
-        buf->copy_to_host();
         std::copy(buf->host_view().begin(), buf->host_view().end(), data.begin());
         if (val != nullptr) {
             analysis::lint_residency(buf_events, alg.name() + "/device-buffer", *val);
@@ -246,7 +252,8 @@ ExecReport run_basic_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std::sp
         const sim::Ticks cpu_part = detail::cpu_levels(
             hpu.cpu(), alg, data, data.size(), gpu_top - 1, std::uint64_t{0}, opts,
             &rep.levels_cpu, val,
-            detail::SpanCtx{opts.trace, cphase, gcur, trace::SpanAttrs::kNoLevel});
+            detail::SpanCtx{opts.trace, cphase, gcur, trace::SpanAttrs::kNoLevel,
+                            opts.profile});
         rep.cpu_busy += cpu_part;
         clock = hpu.timeline().record(sim::EventKind::kCpuLevel,
                                       phase_label(alg.name(), "cpu-levels"), clock, cpu_part);
@@ -277,7 +284,7 @@ ExecReport run_advanced_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std:
                                                data.size());
     const sim::Ticks pre = detail::host_pre_pass(
         alg, data, hpu.params().cpu.p,
-        detail::SpanCtx{opts.trace, run, 0.0, trace::SpanAttrs::kNoLevel});
+        detail::SpanCtx{opts.trace, run, 0.0, trace::SpanAttrs::kNoLevel, opts.profile});
 
     // --- Split level: tasks tile the array; the CPU takes the first
     // cpu_tasks slices, the device the rest.
@@ -303,10 +310,12 @@ ExecReport run_advanced_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std:
     sim::Ticks gpu_clock = 0.0;
     const trace::SpanId gphase =
         detail::open_phase(opts, run, alg.name(), "gpu-phase", trace::Unit::kGpu, pre);
-    const detail::SpanCtx gtc{opts.trace, gphase, pre, trace::SpanAttrs::kNoLevel};
+    const detail::SpanCtx gtc{opts.trace, gphase, pre, trace::SpanAttrs::kNoLevel,
+                              opts.profile};
     std::optional<sim::DeviceBuffer<T>> buf;
     std::vector<sim::BufferEvent> buf_events;
     std::span<T> dspan = gpu_region;
+    const std::uint64_t xin_w0 = gtc.wall_start();
     if (opts.functional) {
         buf.emplace(std::vector<T>(gpu_region.begin(), gpu_region.end()));
         if (val != nullptr) buf->set_trace(&buf_events);
@@ -318,15 +327,16 @@ ExecReport run_advanced_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std:
     gpu_clock = hpu.timeline().record(sim::EventKind::kTransferToGpu,
                                       phase_label(alg.name(), "xfer-in"), gpu_clock, x1);
     detail::trace_transfer(gtc, alg.name(), "xfer-in", gpu_region.size(),
-                           gpu_region.size() * sizeof(T), x1);
+                           gpu_region.size() * sizeof(T), x1, xin_w0);
 
     sim::Ticks gpu_kernels = 0.0;
     if (opts.functional) {
+        const std::uint64_t hw0 = gtc.wall_start();
         sim::OpCounter hook;
         alg.before_gpu_levels(dspan, gpu_region.size() / shape.task_size_at(shape.L - 1),
                               hook);
         gpu_kernels += detail::traced_hook(dev, hook, alg.name(), "gpu-pre-hook",
-                                           gtc.shifted(x1 + gpu_kernels));
+                                           gtc.shifted(x1 + gpu_kernels), hw0);
     } else if (y < shape.L) {
         // Hook costs apply only when device levels actually execute.
         gpu_kernels +=
@@ -341,10 +351,11 @@ ExecReport run_advanced_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std:
         if (opts.functional) {
             gpu_kernels += detail::functional_gpu_level(dev, alg, dspan, tasks, val,
                                                         gtc.shifted(x1 + gpu_kernels, i));
+            const std::uint64_t hw0 = gtc.wall_start();
             sim::OpCounter flip;
             alg.after_gpu_level(dspan, tasks, flip);
             gpu_kernels += detail::traced_hook(dev, flip, alg.name(), "gpu-level-hook",
-                                               gtc.shifted(x1 + gpu_kernels));
+                                               gtc.shifted(x1 + gpu_kernels), hw0);
         } else {
             gpu_kernels += detail::analytic_gpu_level(dev, alg, data.size(), tasks, i,
                                                       gtc.shifted(x1 + gpu_kernels, i));
@@ -352,10 +363,11 @@ ExecReport run_advanced_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std:
         ++rep.levels_gpu;
     }
     if (opts.functional) {
+        const std::uint64_t hw0 = gtc.wall_start();
         sim::OpCounter post;
         alg.after_gpu_levels(dspan, gpu_region.size() / shape.task_size_at(y), post);
         gpu_kernels += detail::traced_hook(dev, post, alg.name(), "gpu-post-hook",
-                                           gtc.shifted(x1 + gpu_kernels));
+                                           gtc.shifted(x1 + gpu_kernels), hw0);
     }
     rep.gpu_busy = gpu_kernels;
     gpu_clock = hpu.timeline().record(sim::EventKind::kGpuKernel,
@@ -365,11 +377,12 @@ ExecReport run_advanced_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std:
     rep.transfer += x2;
     gpu_clock = hpu.timeline().record(sim::EventKind::kTransferToCpu,
                                       phase_label(alg.name(), "xfer-out"), gpu_clock, x2);
+    const std::uint64_t xout_w0 = gtc.wall_start();
+    if (opts.functional) buf->copy_to_host();
     detail::trace_transfer(gtc.shifted(x1 + gpu_kernels), alg.name(), "xfer-out",
-                           gpu_region.size(), gpu_region.size() * sizeof(T), x2);
+                           gpu_region.size(), gpu_region.size() * sizeof(T), x2, xout_w0);
     if (opts.trace != nullptr) opts.trace->close(gphase, pre + gpu_clock);
     if (opts.functional) {
-        buf->copy_to_host();
         std::copy(buf->host_view().begin(), buf->host_view().end(), gpu_region.begin());
         if (val != nullptr) {
             analysis::lint_residency(buf_events, alg.name() + "/device-buffer", *val);
@@ -379,7 +392,8 @@ ExecReport run_advanced_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std:
     // --- CPU thread (concurrent): leaves + levels L-1..s of its slice.
     const trace::SpanId cphase =
         detail::open_phase(opts, run, alg.name(), "cpu-parallel", trace::Unit::kCpu, pre);
-    const detail::SpanCtx ctc{opts.trace, cphase, pre, trace::SpanAttrs::kNoLevel};
+    const detail::SpanCtx ctc{opts.trace, cphase, pre, trace::SpanAttrs::kNoLevel,
+                              opts.profile};
     sim::Ticks cpu_clock = detail::cpu_leaves(hpu.cpu(), alg, cpu_region, opts.functional,
                                               val, ctc);
     cpu_clock += detail::cpu_levels(hpu.cpu(), alg, cpu_region, data.size(), shape.L - 1, s,
@@ -396,7 +410,8 @@ ExecReport run_advanced_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std:
     // top levels s-1..0 across the whole array.
     const trace::SpanId fphase =
         detail::open_phase(opts, run, alg.name(), "finish", trace::Unit::kCpu, pre + sync);
-    const detail::SpanCtx ftc{opts.trace, fphase, pre + sync, trace::SpanAttrs::kNoLevel};
+    const detail::SpanCtx ftc{opts.trace, fphase, pre + sync, trace::SpanAttrs::kNoLevel,
+                              opts.profile};
     sim::Ticks fin = 0.0;
     if (y > s) {
         fin += detail::cpu_levels(hpu.cpu(), alg, gpu_region, data.size(), y - 1, s, opts,

@@ -104,7 +104,7 @@ ExecReport run_pipelined_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std
                                                data.size());
     const sim::Ticks pre = detail::host_pre_pass(
         alg, data, hpu.params().cpu.p,
-        detail::SpanCtx{opts.trace, run, 0.0, trace::SpanAttrs::kNoLevel});
+        detail::SpanCtx{opts.trace, run, 0.0, trace::SpanAttrs::kNoLevel, opts.profile});
 
     // --- Split level: identical to the advanced hybrid.
     std::uint64_t split_tasks = pip.split_tasks;
@@ -192,7 +192,8 @@ ExecReport run_pipelined_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std
     // as the advanced hybrid); spans start at pre.
     const trace::SpanId gphase =
         detail::open_phase(opts, run, alg.name(), "gpu-phase", trace::Unit::kGpu, pre);
-    const detail::SpanCtx gtc{opts.trace, gphase, pre, trace::SpanAttrs::kNoLevel};
+    const detail::SpanCtx gtc{opts.trace, gphase, pre, trace::SpanAttrs::kNoLevel,
+                              opts.profile};
     std::optional<sim::DeviceBuffer<T>> buf;
     std::vector<sim::BufferEvent> buf_events;
     if (opts.functional) {
@@ -204,12 +205,13 @@ ExecReport run_pipelined_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std
     // Stage 0: eager input stream — every chunk enqueued at tick 0.
     std::vector<sim::StreamEvent> arrived(K);
     for (std::uint64_t c = 0; c < K; ++c) {
+        const std::uint64_t xw0 = gtc.wall_start();
         arrived[c] = stream.push_to_device(phase_label(alg.name(), "xfer-in-chunk"),
                                            plan[c].words, plan[c].offset, 0.0);
         const sim::StreamChunk& ch = stream.chunks().back();
         if (opts.functional) buf->stream_to_device(ch.offset, ch.words, ch.start, ch.end);
         detail::trace_transfer(gtc.shifted(ch.start), alg.name(), "xfer-in-chunk", ch.words,
-                               ch.words * sizeof(T), ch.duration());
+                               ch.words * sizeof(T), ch.duration(), xw0);
     }
 
     // Stage 1: chunk-local leaves + deep levels, double-buffered against
@@ -224,11 +226,12 @@ ExecReport run_pipelined_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std
                                  : gpu_region.subspan(plan[c].offset, plan[c].words);
         sim::Ticks k = 0.0;
         if (opts.functional) {
+            const std::uint64_t hw0 = gtc.wall_start();
             sim::OpCounter hook;
             alg.before_gpu_levels(dspan, plan[c].words / shape.task_size_at(shape.L - 1),
                                   hook);
             k += detail::traced_hook(dev, hook, alg.name(), "gpu-pre-hook",
-                                     gtc.shifted(at + k));
+                                     gtc.shifted(at + k), hw0);
         } else if (d < shape.L) {
             // Hook costs apply only when device levels actually execute.
             k += detail::traced_hook(dev, alg.analytic_gpu_hook_ops(plan[c].words),
@@ -241,10 +244,11 @@ ExecReport run_pipelined_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std
             if (opts.functional) {
                 k += detail::functional_gpu_level(dev, alg, dspan, tasks, val,
                                                   gtc.shifted(at + k, i));
+                const std::uint64_t hw0 = gtc.wall_start();
                 sim::OpCounter flip;
                 alg.after_gpu_level(dspan, tasks, flip);
                 k += detail::traced_hook(dev, flip, alg.name(), "gpu-level-hook",
-                                         gtc.shifted(at + k));
+                                         gtc.shifted(at + k), hw0);
             } else {
                 k += detail::analytic_gpu_level(dev, alg, data.size(), tasks, i,
                                                 gtc.shifted(at + k, i));
@@ -252,10 +256,11 @@ ExecReport run_pipelined_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std
             if (c == 0) ++rep.levels_gpu;
         }
         if (opts.functional) {
+            const std::uint64_t hw0 = gtc.wall_start();
             sim::OpCounter post;
             alg.after_gpu_levels(dspan, plan[c].words / shape.task_size_at(d), post);
             k += detail::traced_hook(dev, post, alg.name(), "gpu-post-hook",
-                                     gtc.shifted(at + k));
+                                     gtc.shifted(at + k), hw0);
         }
         hpu.timeline().record(sim::EventKind::kGpuKernel,
                               launch_label(alg.name(), "gpu-chunk", plan[c].words), at, k);
@@ -271,10 +276,11 @@ ExecReport run_pipelined_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std
             opts.functional ? buf->device_region(0, W, at) : gpu_region;
         sim::Ticks k = 0.0;
         if (opts.functional) {
+            const std::uint64_t hw0 = gtc.wall_start();
             sim::OpCounter hook;
             alg.before_gpu_levels(dspan, W / shape.task_size_at(d - 1), hook);
             k += detail::traced_hook(dev, hook, alg.name(), "gpu-merge-hook",
-                                     gtc.shifted(at + k));
+                                     gtc.shifted(at + k), hw0);
         } else if (d < shape.L) {
             k += detail::traced_hook(dev, alg.analytic_gpu_hook_ops(W), alg.name(),
                                      "gpu-merge-hook", gtc.shifted(at + k));
@@ -285,10 +291,11 @@ ExecReport run_pipelined_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std
             if (opts.functional) {
                 k += detail::functional_gpu_level(dev, alg, dspan, tasks, val,
                                                   gtc.shifted(at + k, i));
+                const std::uint64_t hw0 = gtc.wall_start();
                 sim::OpCounter flip;
                 alg.after_gpu_level(dspan, tasks, flip);
                 k += detail::traced_hook(dev, flip, alg.name(), "gpu-level-hook",
-                                         gtc.shifted(at + k));
+                                         gtc.shifted(at + k), hw0);
             } else {
                 k += detail::analytic_gpu_level(dev, alg, data.size(), tasks, i,
                                                 gtc.shifted(at + k, i));
@@ -296,10 +303,11 @@ ExecReport run_pipelined_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std
             ++rep.levels_gpu;
         }
         if (opts.functional) {
+            const std::uint64_t hw0 = gtc.wall_start();
             sim::OpCounter post;
             alg.after_gpu_levels(dspan, W / shape.task_size_at(y), post);
             k += detail::traced_hook(dev, post, alg.name(), "gpu-post-hook",
-                                     gtc.shifted(at + k));
+                                     gtc.shifted(at + k), hw0);
         } else {
             k += detail::traced_hook(dev, alg.analytic_gpu_hook_ops(W), alg.name(),
                                      "gpu-post-hook", gtc.shifted(at + k));
@@ -315,22 +323,24 @@ ExecReport run_pipelined_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std
     // per-chunk streaming overlapped with the last computes when d = y.
     sim::Ticks gpu_clock = 0.0;
     if (d > y) {
+        const std::uint64_t xw0 = gtc.wall_start();
         const sim::StreamEvent done =
             stream.push_to_host(phase_label(alg.name(), "xfer-out"), W, 0, gpu_free);
         const sim::StreamChunk& ch = stream.chunks().back();
         if (opts.functional) buf->stream_to_host(0, W, ch.start, ch.end);
         detail::trace_transfer(gtc.shifted(ch.start), alg.name(), "xfer-out", W,
-                               W * sizeof(T), ch.duration());
+                               W * sizeof(T), ch.duration(), xw0);
         gpu_clock = done.when;
     } else {
         for (std::uint64_t c = 0; c < K; ++c) {
+            const std::uint64_t xw0 = gtc.wall_start();
             const sim::StreamEvent done =
                 stream.push_to_host(phase_label(alg.name(), "xfer-out-chunk"),
                                     plan[c].words, plan[c].offset, comp_end[c]);
             const sim::StreamChunk& ch = stream.chunks().back();
             if (opts.functional) buf->stream_to_host(ch.offset, ch.words, ch.start, ch.end);
             detail::trace_transfer(gtc.shifted(ch.start), alg.name(), "xfer-out-chunk",
-                                   ch.words, ch.words * sizeof(T), ch.duration());
+                                   ch.words, ch.words * sizeof(T), ch.duration(), xw0);
             gpu_clock = done.when;
         }
     }
@@ -346,7 +356,8 @@ ExecReport run_pipelined_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std
     // --- CPU thread (concurrent): identical to the advanced hybrid.
     const trace::SpanId cphase =
         detail::open_phase(opts, run, alg.name(), "cpu-parallel", trace::Unit::kCpu, pre);
-    const detail::SpanCtx ctc{opts.trace, cphase, pre, trace::SpanAttrs::kNoLevel};
+    const detail::SpanCtx ctc{opts.trace, cphase, pre, trace::SpanAttrs::kNoLevel,
+                              opts.profile};
     sim::Ticks cpu_clock = detail::cpu_leaves(hpu.cpu(), alg, cpu_region, opts.functional,
                                               val, ctc);
     cpu_clock += detail::cpu_levels(hpu.cpu(), alg, cpu_region, data.size(), shape.L - 1, s,
@@ -360,7 +371,8 @@ ExecReport run_pipelined_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std
     const sim::Ticks sync = std::max(gpu_clock, cpu_clock);
     const trace::SpanId fphase =
         detail::open_phase(opts, run, alg.name(), "finish", trace::Unit::kCpu, pre + sync);
-    const detail::SpanCtx ftc{opts.trace, fphase, pre + sync, trace::SpanAttrs::kNoLevel};
+    const detail::SpanCtx ftc{opts.trace, fphase, pre + sync, trace::SpanAttrs::kNoLevel,
+                              opts.profile};
     sim::Ticks fin = 0.0;
     if (y > s) {
         fin += detail::cpu_levels(hpu.cpu(), alg, gpu_region, data.size(), y - 1, s, opts,

@@ -1,0 +1,94 @@
+// The dual-clock profile: joins the wall-clock attribution that
+// ExecOptions::profile stamps onto trace spans with the virtual-clock
+// durations the same spans already carry, plus the ThreadPool's wall
+// telemetry (DESIGN.md §11).
+//
+// Attribution model: wall-annotated spans hang directly under a run or
+// phase span and never nest within each other (levels, leaf sweeps, hooks
+// and host pre-passes are siblings), so summing them per bucket never
+// double-counts. Each annotated span is bucketed under its nearest kPhase
+// ancestor's label — "(direct)" for executors that have no phases — and
+// buckets are grouped per run root, so one session holding several
+// executor runs yields one ExecutorProfile each.
+//
+// The ratio of interest per bucket is wall ns per virtual tick: a bucket
+// whose ratio is far above its siblings' is where the functional host
+// execution is slow relative to what the cost model charges for it.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/params.hpp"
+#include "trace/span.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hpu::metrics {
+
+/// One attribution bucket: all wall-annotated spans of one run that share
+/// a kPhase ancestor (or have none — label "(direct)").
+struct PhaseProfile {
+    std::string label;
+    std::size_t spans = 0;           ///< annotated spans in this bucket
+    sim::Ticks virtual_ticks = 0.0;  ///< summed virtual durations
+    std::uint64_t wall_ns = 0;       ///< summed wall durations
+    /// wall_ns / virtual_ticks (0 when no virtual time was charged).
+    double ns_per_tick = 0.0;
+};
+
+/// One executor invocation (a run root span) and its phase breakdown.
+struct ExecutorProfile {
+    std::string label;               ///< run root label (executor name)
+    sim::Ticks virtual_ticks = 0.0;  ///< run span virtual duration
+    std::uint64_t wall_ns = 0;       ///< run span wall duration
+    /// Wall ns covered by the phase buckets; the gap to wall_ns is
+    /// unattributed host bookkeeping between spans.
+    std::uint64_t attributed_wall_ns = 0;
+    std::vector<PhaseProfile> phases;
+};
+
+/// ThreadPool wall telemetry folded into the report (present only when a
+/// PoolTelemetry snapshot was supplied).
+struct PoolProfile {
+    bool present = false;
+    std::size_t workers = 0;
+    std::uint64_t window_ns = 0;
+    std::uint64_t busy_ns = 0;   ///< summed worker busy (caller excluded)
+    std::uint64_t idle_ns = 0;   ///< summed worker idle
+    std::uint64_t batches = 0;
+    std::uint64_t chunks = 0;    ///< all participants, caller included
+    /// Worker busy / (workers × window), clamped to (0, 1]. 1.0 when there
+    /// is nothing to measure (no workers, or no work ran in the window) —
+    /// an inline pool is vacuously efficient.
+    double host_efficiency = 1.0;
+    /// 1 − accounted_share: the slice of worker wall time explained by
+    /// neither busy nor idle (claim loop, completion bookkeeping).
+    double overhead_share = 0.0;
+};
+
+struct ProfileReport {
+    std::vector<ExecutorProfile> executors;
+    PoolProfile pool;
+    /// Earliest annotated wall start (raw now_ns; spans in exports are
+    /// rebased against this).
+    std::uint64_t wall_epoch_ns = 0;
+    std::uint64_t total_wall_ns = 0;    ///< summed run-root wall
+    sim::Ticks total_virtual = 0.0;     ///< summed run-root virtual
+
+    /// Aligned per-executor phase tables plus the pool summary line.
+    void print(std::ostream& os) const;
+};
+
+/// Derives the report from a profiled session (spans with wall_ns == 0 are
+/// ignored, so an unprofiled session yields empty executors). Pass the
+/// pool's telemetry() to fold host-efficiency numbers in.
+ProfileReport derive_profile(const trace::TraceSession& session,
+                             const util::PoolTelemetry* pool = nullptr);
+
+/// JSON export of the report (schema: executors[], pool{}, totals).
+void export_profile_json(const ProfileReport& report, std::ostream& os);
+bool write_profile_json_file(const ProfileReport& report, const std::string& path);
+
+}  // namespace hpu::metrics

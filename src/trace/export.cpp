@@ -41,9 +41,23 @@ int track_of(Unit u) noexcept {
     return 0;
 }
 
-void write_args(std::ostream& os, const Span& s) {
+/// Earliest wall-annotated start in the session, used to rebase the raw
+/// steady-clock values to small session-relative offsets at export time.
+std::uint64_t wall_epoch_of(const TraceSession& session) noexcept {
+    std::uint64_t epoch = ~std::uint64_t{0};
+    for (const Span& s : session.spans()) {
+        if (s.wall_ns != 0 && s.wall_start_ns < epoch) epoch = s.wall_start_ns;
+    }
+    return epoch == ~std::uint64_t{0} ? 0 : epoch;
+}
+
+void write_args(std::ostream& os, const Span& s, std::uint64_t wall_epoch) {
     os << "{\"kind\":\"" << to_string(s.kind) << "\",\"span_id\":" << s.id
        << ",\"parent\":" << s.parent;
+    if (s.wall_ns != 0) {
+        os << ",\"wall_start_ns\":" << (s.wall_start_ns - wall_epoch)
+           << ",\"wall_ns\":" << s.wall_ns;
+    }
     if (s.attrs.level != SpanAttrs::kNoLevel) os << ",\"level\":" << s.attrs.level;
     if (s.attrs.tasks != 0) os << ",\"tasks\":" << s.attrs.tasks;
     if (s.attrs.items != 0) os << ",\"items\":" << s.attrs.items;
@@ -73,11 +87,12 @@ void export_chrome(const TraceSession& session, std::ostream& os) {
         os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":" << track_of(u)
            << ",\"args\":{\"name\":\"" << to_string(u) << "\"}}";
     }
+    const std::uint64_t wall_epoch = wall_epoch_of(session);
     for (const Span& s : session.spans()) {
         os << ",{\"ph\":\"X\",\"name\":\"" << json_escape(s.label) << "\",\"cat\":\""
            << to_string(s.kind) << "\",\"pid\":0,\"tid\":" << track_of(s.unit)
            << ",\"ts\":" << s.start << ",\"dur\":" << s.duration() << ",\"args\":";
-        write_args(os, s);
+        write_args(os, s, wall_epoch);
         os << "}";
     }
     os << "]}\n";
@@ -85,7 +100,8 @@ void export_chrome(const TraceSession& session, std::ostream& os) {
 
 void export_csv(const TraceSession& session, std::ostream& os) {
     os << "id,parent,kind,unit,label,start,end,duration,level,tasks,items,waves,ops,work,"
-          "bytes,coalesced_transactions,strided_transactions\n";
+          "bytes,coalesced_transactions,strided_transactions,wall_start_ns,wall_ns\n";
+    const std::uint64_t wall_epoch = wall_epoch_of(session);
     for (const Span& s : session.spans()) {
         // Labels follow the launch-label scheme (no commas/quotes), so no
         // CSV quoting is needed; assert-by-construction keeps this simple.
@@ -94,7 +110,10 @@ void export_csv(const TraceSession& session, std::ostream& os) {
         if (s.attrs.level != SpanAttrs::kNoLevel) os << s.attrs.level;
         os << ',' << s.attrs.tasks << ',' << s.attrs.items << ',' << s.attrs.waves << ','
            << s.attrs.ops << ',' << s.attrs.work << ',' << s.attrs.bytes << ','
-           << s.attrs.coalesced_transactions << ',' << s.attrs.strided_transactions << '\n';
+           << s.attrs.coalesced_transactions << ',' << s.attrs.strided_transactions << ',';
+        if (s.wall_ns != 0) os << (s.wall_start_ns - wall_epoch) << ',' << s.wall_ns;
+        else os << "0,0";
+        os << '\n';
     }
 }
 

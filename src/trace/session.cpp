@@ -66,6 +66,13 @@ void TraceSession::annotate(SpanId id, const SpanAttrs& attrs) {
     if (attrs.strided_transactions != 0) a.strided_transactions = attrs.strided_transactions;
 }
 
+void TraceSession::annotate_wall(SpanId id, std::uint64_t wall_start_ns,
+                                 std::uint64_t wall_ns) {
+    HPU_CHECK(id != kNoSpan && id <= spans_.size(), "annotating a span that does not exist");
+    spans_[id - 1].wall_start_ns = wall_start_ns;
+    spans_[id - 1].wall_ns = wall_ns;
+}
+
 std::size_t TraceSession::count(SpanKind kind) const noexcept {
     return static_cast<std::size_t>(
         std::count_if(spans_.begin(), spans_.end(),

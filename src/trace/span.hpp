@@ -78,6 +78,12 @@ struct Span {
     sim::Ticks start = 0.0;
     sim::Ticks end = 0.0;
     SpanAttrs attrs;
+    /// Wall-clock attribution (ExecOptions::profile; see metrics/profile.hpp).
+    /// Raw util::now_ns() values — only differences are meaningful; 0 means
+    /// "not profiled". Strictly observational: the virtual fields above are
+    /// byte-identical whether profiling is on or off (enforced by test).
+    std::uint64_t wall_start_ns = 0;
+    std::uint64_t wall_ns = 0;
 
     sim::Ticks duration() const noexcept { return end - start; }
 };
@@ -98,6 +104,10 @@ public:
     /// Merges additional attributes into a recorded span (non-zero /
     /// non-sentinel fields win).
     void annotate(SpanId id, const SpanAttrs& attrs);
+
+    /// Attaches wall-clock attribution to a recorded span (profiling only;
+    /// never touches the virtual start/end fields).
+    void annotate_wall(SpanId id, std::uint64_t wall_start_ns, std::uint64_t wall_ns);
 
     const std::vector<Span>& spans() const noexcept { return spans_; }
     const Span& span(SpanId id) const { return spans_.at(id - 1); }

@@ -1,0 +1,113 @@
+// Lock-free fixed-bucket histogram for wall-clock telemetry. Buckets are
+// powers of two (log₂ buckets): bucket i counts values v with
+// 2^(i-1) <= v < 2^i (bucket 0 counts v == 0), so one `record` is a
+// bit_width plus three relaxed atomic adds — cheap enough for the
+// ThreadPool's per-chunk hot path. The exponential buckets match what the
+// quantities of interest (nanosecond latencies, claim sizes) need: a fixed
+// number of buckets covers the whole uint64 range with constant relative
+// resolution, and the Prometheus exporter maps them directly onto
+// cumulative `le` bounds.
+//
+// Relaxed ordering throughout: histograms are statistics, not
+// synchronization (same discipline as trace::CounterRegistry). A snapshot
+// taken while writers are active is internally consistent per field but
+// not across fields; consumers snapshot quiescent pools (after the batch
+// barrier) where this cannot matter.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace hpu::util {
+
+/// Plain-data copy of a histogram at one instant.
+struct HistogramSnapshot {
+    /// kBuckets counts; bucket i covers [2^(i-1), 2^i) and bucket 0 is the
+    /// zero bucket. The last bucket absorbs everything >= 2^(kBuckets-2).
+    static constexpr std::size_t kBuckets = 64;
+
+    std::array<std::uint64_t, kBuckets> buckets{};
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;  ///< smallest recorded value (0 when count == 0)
+    std::uint64_t max = 0;  ///< largest recorded value
+
+    double mean() const noexcept {
+        return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+    }
+
+    /// Upper bound (inclusive style: values < bound) of bucket i, i.e. the
+    /// Prometheus `le` edge. The last bucket's bound is reported by the
+    /// exporter as +Inf.
+    static double bucket_bound(std::size_t i) noexcept {
+        return static_cast<double>(i >= 63 ? ~std::uint64_t{0} : (std::uint64_t{1} << i));
+    }
+};
+
+class Log2Histogram {
+public:
+    static constexpr std::size_t kBuckets = HistogramSnapshot::kBuckets;
+
+    /// Bucket index of a value: 0 for 0, else bit_width (so 1 -> 1,
+    /// 2..3 -> 2, 4..7 -> 3, ...), clamped to the last bucket.
+    static std::size_t bucket_of(std::uint64_t v) noexcept {
+        const auto w = static_cast<std::size_t>(std::bit_width(v));
+        return w >= kBuckets ? kBuckets - 1 : w;
+    }
+
+    void record(std::uint64_t v) noexcept {
+        buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+        count_.fetch_add(1, std::memory_order_relaxed);
+        sum_.fetch_add(v, std::memory_order_relaxed);
+        update_min(v);
+        update_max(v);
+    }
+
+    std::uint64_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
+    std::uint64_t sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+
+    HistogramSnapshot snapshot() const noexcept {
+        HistogramSnapshot s;
+        for (std::size_t i = 0; i < kBuckets; ++i) {
+            s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+        }
+        s.count = count_.load(std::memory_order_relaxed);
+        s.sum = sum_.load(std::memory_order_relaxed);
+        const std::uint64_t mn = min_.load(std::memory_order_relaxed);
+        s.min = s.count == 0 ? 0 : mn;
+        s.max = max_.load(std::memory_order_relaxed);
+        return s;
+    }
+
+    void reset() noexcept {
+        for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+        count_.store(0, std::memory_order_relaxed);
+        sum_.store(0, std::memory_order_relaxed);
+        min_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+        max_.store(0, std::memory_order_relaxed);
+    }
+
+private:
+    void update_min(std::uint64_t v) noexcept {
+        std::uint64_t cur = min_.load(std::memory_order_relaxed);
+        while (v < cur &&
+               !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+        }
+    }
+    void update_max(std::uint64_t v) noexcept {
+        std::uint64_t cur = max_.load(std::memory_order_relaxed);
+        while (v > cur &&
+               !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+        }
+    }
+
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sum_{0};
+    std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+    std::atomic<std::uint64_t> max_{0};
+};
+
+}  // namespace hpu::util

@@ -4,8 +4,19 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace hpu::util {
+
+/// Monotonic wall-clock nanoseconds, the shared time base of all wall-side
+/// telemetry (ThreadPool stats, span wall annotation, ProfileReport).
+/// Values are only meaningful as differences within one process.
+inline std::uint64_t now_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
 
 class Stopwatch {
 public:

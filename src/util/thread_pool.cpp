@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/stopwatch.hpp"
+
 namespace hpu::util {
 
 namespace {
@@ -19,9 +21,19 @@ std::size_t pick_grain(std::size_t count, std::size_t requested, std::size_t par
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t workers) {
+    if (workers > 0) slots_ = std::make_unique<Slot[]>(workers + 1);
+    const std::uint64_t t0 = now_ns();
+    window_start_ns_.store(t0, std::memory_order_relaxed);
+    // A worker counts as idle from construction until its thread first
+    // parks itself: on an oversubscribed host the OS may not schedule the
+    // thread for a while, and that time is worker idleness, not a hole in
+    // the account.
+    for (std::size_t i = 0; i < workers; ++i) {
+        slots_[i].wait_since_ns.store(t0, std::memory_order_relaxed);
+    }
     threads_.reserve(workers);
     for (std::size_t i = 0; i < workers; ++i) {
-        threads_.emplace_back([this] { worker_loop(); });
+        threads_.emplace_back([this, i] { worker_loop(i); });
     }
 }
 
@@ -34,18 +46,30 @@ ThreadPool::~ThreadPool() {
     for (auto& t : threads_) t.join();
 }
 
-void ThreadPool::drain_batch(Batch& b) {
+void ThreadPool::drain_batch(Batch& b, std::size_t slot) {
+    Slot& acct = slots_[slot];
+    bool first_claim = true;
     for (;;) {
         const std::size_t begin = b.cursor.fetch_add(b.grain, std::memory_order_relaxed);
         if (begin >= b.count) return;
         const std::size_t end = std::min(b.count, begin + b.grain);
         std::exception_ptr err;
         if (!b.abandon.load(std::memory_order_relaxed)) {
+            const std::uint64_t t0 = now_ns();
+            if (first_claim) {
+                first_claim = false;
+                submit_latency_ns_.record(t0 >= b.submit_ns ? t0 - b.submit_ns : 0);
+            }
             try {
                 b.invoke(b.ctx, begin, end);
             } catch (...) {
                 err = std::current_exception();
             }
+            const std::uint64_t t1 = now_ns();
+            acct.busy_ns.fetch_add(t1 - t0, std::memory_order_relaxed);
+            acct.chunks.fetch_add(1, std::memory_order_relaxed);
+            acct.indices.fetch_add(end - begin, std::memory_order_relaxed);
+            claim_size_.record(end - begin);
         }
         std::lock_guard lock(mu_);
         if (err) {
@@ -57,13 +81,29 @@ void ThreadPool::drain_batch(Batch& b) {
     }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t slot) {
+    Slot& acct = slots_[slot];
     std::unique_lock lock(mu_);
     for (;;) {
+        // Reuse an existing stamp (the constructor marks workers idle from
+        // t0, so the stretch before the OS first schedules this thread
+        // stays in the account); stamp fresh after a drain.
+        std::uint64_t w0 = acct.wait_since_ns.load(std::memory_order_relaxed);
+        if (w0 == 0) {
+            w0 = now_ns();
+            acct.wait_since_ns.store(w0, std::memory_order_relaxed);
+        }
         work_cv_.wait(lock, [this] {
             return stop_ || (batch_ != nullptr &&
                              batch_->cursor.load(std::memory_order_relaxed) < batch_->count);
         });
+        acct.wait_since_ns.store(0, std::memory_order_relaxed);
+        // Clip a wait that spans reset_telemetry() to the current window so
+        // idle never exceeds the window it is reported against.
+        const std::uint64_t begin =
+            std::max(w0, window_start_ns_.load(std::memory_order_relaxed));
+        const std::uint64_t t1 = now_ns();
+        if (t1 > begin) acct.idle_ns.fetch_add(t1 - begin, std::memory_order_relaxed);
         if (stop_) return;
         Batch& b = *batch_;
         // The submitter only tears the batch down once done == count AND
@@ -72,7 +112,7 @@ void ThreadPool::worker_loop() {
         // chunks first.
         ++b.active;
         lock.unlock();
-        drain_batch(b);
+        drain_batch(b, slot);
         lock.lock();
         --b.active;
         if (b.done == b.count && b.active == 0) done_cv_.notify_all();
@@ -85,19 +125,66 @@ void ThreadPool::run_batch(std::size_t count, std::size_t grain, RangeFn invoke,
     b.grain = pick_grain(count, grain, threads_.size() + 1);
     b.invoke = invoke;
     b.ctx = ctx;
+    b.submit_ns = now_ns();
     {
         std::lock_guard lock(mu_);
         HPU_CHECK(batch_ == nullptr, "parallel_for is not reentrant");
         batch_ = &b;
     }
+    batches_.fetch_add(1, std::memory_order_relaxed);
     work_cv_.notify_all();
-    drain_batch(b);  // caller participates
+    drain_batch(b, threads_.size());  // caller participates in the last slot
     {
         std::unique_lock lock(mu_);
         done_cv_.wait(lock, [&b] { return b.done == b.count && b.active == 0; });
         batch_ = nullptr;
     }
     if (b.error) std::rethrow_exception(b.error);
+}
+
+PoolTelemetry ThreadPool::telemetry() const {
+    PoolTelemetry t;
+    t.workers = threads_.size();
+    const std::uint64_t window_start = window_start_ns_.load(std::memory_order_relaxed);
+    const std::uint64_t now = now_ns();
+    t.window_ns = now - window_start;
+    t.batches = batches_.load(std::memory_order_relaxed);
+    if (slots_ != nullptr) {
+        t.per_worker.resize(threads_.size() + 1);
+        for (std::size_t i = 0; i <= threads_.size(); ++i) {
+            const Slot& s = slots_[i];
+            t.per_worker[i].busy_ns = s.busy_ns.load(std::memory_order_relaxed);
+            t.per_worker[i].idle_ns = s.idle_ns.load(std::memory_order_relaxed);
+            t.per_worker[i].chunks = s.chunks.load(std::memory_order_relaxed);
+            t.per_worker[i].indices = s.indices.load(std::memory_order_relaxed);
+            // Credit a worker parked right now with its in-progress wait,
+            // clipped to the window; without this a quiescent pool would
+            // under-report idle by exactly the time since its last batch.
+            const std::uint64_t since = s.wait_since_ns.load(std::memory_order_relaxed);
+            if (i < threads_.size() && since != 0) {
+                const std::uint64_t begin = std::max(since, window_start);
+                if (now > begin) t.per_worker[i].idle_ns += now - begin;
+            }
+        }
+    }
+    t.claim_size = claim_size_.snapshot();
+    t.submit_latency_ns = submit_latency_ns_.snapshot();
+    return t;
+}
+
+void ThreadPool::reset_telemetry() {
+    if (slots_ != nullptr) {
+        for (std::size_t i = 0; i <= threads_.size(); ++i) {
+            slots_[i].busy_ns.store(0, std::memory_order_relaxed);
+            slots_[i].idle_ns.store(0, std::memory_order_relaxed);
+            slots_[i].chunks.store(0, std::memory_order_relaxed);
+            slots_[i].indices.store(0, std::memory_order_relaxed);
+        }
+    }
+    claim_size_.reset();
+    submit_latency_ns_.reset();
+    batches_.store(0, std::memory_order_relaxed);
+    window_start_ns_.store(now_ns(), std::memory_order_relaxed);
 }
 
 }  // namespace hpu::util

@@ -10,13 +10,26 @@ multi-core runners — on a single-core host the pool cannot win and the
 speedup hovers around 1, which is exactly what the determinism invariant
 predicts. Exits non-zero with a message on the first violation.
 
+The preferred performance gate is baseline-relative: --baseline B compares
+the artifact against a committed bench/baselines/*.json via bench_diff
+(self-normalized relative costs, so baselines survive host changes) and
+fails on any entry that regressed beyond --tolerance (default:
+$HPU_BENCH_TOLERANCE or 0.5). --min-speedup remains for hosts where a
+known absolute floor makes sense, but it is flaky by construction on
+shared runners — prefer the baseline gate.
+
 Usage: tools/check_bench.py <BENCH_wallclock.json>
            [--min-speedup S] [--min-entries N]
+           [--baseline B.json] [--tolerance T]
 """
 
 import argparse
 import json
+import os
 import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_diff  # noqa: E402  (sibling tool; shares the comparison core)
 
 EXECUTORS = {"sequential", "multicore", "gpu", "basic", "advanced", "pipelined"}
 TOP_KEYS = {"bench", "algo", "platform", "host_concurrency", "entries"}
@@ -37,6 +50,12 @@ def main():
                          "hosts)")
     ap.add_argument("--min-entries", type=int, default=1,
                     help="minimum number of entries required")
+    ap.add_argument("--baseline", default=None,
+                    help="committed baseline JSON; gates each entry's "
+                         "self-normalized cost against it")
+    ap.add_argument("--tolerance", type=float, default=None,
+                    help="relative slack for the baseline gate (default: "
+                         "$HPU_BENCH_TOLERANCE or 0.5)")
     args = ap.parse_args()
 
     try:
@@ -91,6 +110,22 @@ def main():
         fail("no pooled (workers > 0) entries in the sweep")
     if args.min_speedup is not None and best < args.min_speedup:
         fail(f"best pooled speedup {best:.2f} < required {args.min_speedup}")
+
+    if args.baseline is not None:
+        tolerance = (args.tolerance if args.tolerance is not None
+                     else bench_diff.default_tolerance())
+        baseline = bench_diff.load(args.baseline)
+        rows, regressions, dropped = bench_diff.compare(doc, baseline, tolerance)
+        if not rows:
+            fail(f"no comparable entries against baseline {args.baseline}")
+        for key in dropped:
+            print(f"check_bench: note: baseline entry {key} missing from run")
+        if regressions:
+            bench_diff.print_table(regressions, markdown=False, out=sys.stderr)
+            fail(f"{len(regressions)} entries regressed beyond "
+                 f"±{tolerance:.0%} vs {args.baseline}")
+        print(f"check_bench: baseline OK: {len(rows)} entries within "
+              f"±{tolerance:.0%} of {args.baseline}")
 
     note = f", best pooled speedup {best:.2f}x" if seen_pooled else ""
     print(f"check_bench: OK: {len(entries)} entries on "

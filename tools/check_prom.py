@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""Lint for Prometheus text-format exports (hpu::metrics::export_prometheus).
+
+Checks the exposition rules the exporter promises:
+  * every non-comment line is `name[{labels}] value`, with a metric name
+    matching [a-zA-Z_:][a-zA-Z0-9_:]* and a value that parses as a float
+    (+Inf / -Inf / NaN included);
+  * every sample is preceded by a # TYPE declaration for its family, and
+    no family is declared twice;
+  * histogram families expose _bucket series with non-decreasing cumulative
+    counts, a final le="+Inf" bucket, and _sum / _count samples with
+    count == the +Inf bucket.
+
+Usage: tools/check_prom.py METRICS.prom [--min-samples N]
+       tools/check_prom.py --self-test
+Exit codes: 0 ok, 1 lint violation, 2 bad input.
+"""
+
+import argparse
+import io
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(r"^(?P<name>[^\s{]+)(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$")
+
+
+class Lint:
+    def __init__(self):
+        self.errors = []
+        self.samples = 0
+
+    def error(self, lineno, msg):
+        self.errors.append(f"line {lineno}: {msg}")
+
+
+def parse_value(s):
+    if s in ("+Inf", "-Inf", "NaN"):
+        return float(s.replace("Inf", "inf").replace("NaN", "nan"))
+    return float(s)
+
+
+def family_of(name):
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check_stream(lines):
+    lint = Lint()
+    types = {}          # family -> declared type
+    buckets = {}        # family -> list of (le, cumulative count)
+    sums = {}
+    counts = {}
+
+    for lineno, raw in enumerate(lines, 1):
+        line = raw.rstrip("\n")
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                family, kind = parts[2], parts[3] if len(parts) > 3 else ""
+                if family in types:
+                    lint.error(lineno, f"duplicate TYPE for {family}")
+                if kind not in ("counter", "gauge", "histogram"):
+                    lint.error(lineno, f"unknown TYPE '{kind}' for {family}")
+                types[family] = kind
+            elif len(parts) >= 2 and parts[1] not in ("HELP", "TYPE"):
+                lint.error(lineno, f"unknown comment directive {parts[1]}")
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            lint.error(lineno, f"unparsable sample line: {line!r}")
+            continue
+        name = m.group("name")
+        if not NAME_RE.match(name):
+            lint.error(lineno, f"invalid metric name {name!r}")
+            continue
+        try:
+            value = parse_value(m.group("value"))
+        except ValueError:
+            lint.error(lineno, f"unparsable value {m.group('value')!r}")
+            continue
+        lint.samples += 1
+
+        family = family_of(name)
+        declared = types.get(family) or types.get(name)
+        if declared is None:
+            lint.error(lineno, f"sample {name} before any TYPE declaration")
+            continue
+        if declared != "histogram":
+            if name != family and name.endswith(("_bucket", "_sum", "_count")):
+                # e.g. a counter legitimately named *_count: fine, but then
+                # it must have its own TYPE line, which types.get(name) hit.
+                pass
+            continue
+
+        if name.endswith("_bucket"):
+            labels = m.group("labels") or ""
+            le = dict(
+                kv.split("=", 1) for kv in labels.split(",") if "=" in kv
+            ).get("le")
+            if le is None:
+                lint.error(lineno, f"{name} sample lacks an le label")
+                continue
+            le = le.strip('"')
+            bound = float("inf") if le == "+Inf" else parse_value(le)
+            buckets.setdefault(family, []).append((lineno, bound, value))
+        elif name.endswith("_sum"):
+            sums[family] = (lineno, value)
+        elif name.endswith("_count"):
+            counts[family] = (lineno, value)
+        else:
+            lint.error(lineno, f"histogram family {family} has a bare sample")
+
+    for family, kind in types.items():
+        if kind != "histogram":
+            continue
+        series = buckets.get(family, [])
+        if not series:
+            lint.error(0, f"histogram {family} exposes no _bucket series")
+            continue
+        prev_bound, prev_cum = None, None
+        for lineno, bound, cum in series:
+            if prev_bound is not None and bound <= prev_bound:
+                lint.error(lineno, f"{family} bucket bounds not increasing")
+            if prev_cum is not None and cum < prev_cum:
+                lint.error(lineno, f"{family} cumulative counts decreased")
+            prev_bound, prev_cum = bound, cum
+        if series[-1][1] != float("inf"):
+            lint.error(series[-1][0], f"{family} last bucket is not le=\"+Inf\"")
+        if family not in sums:
+            lint.error(0, f"histogram {family} lacks a _sum sample")
+        if family not in counts:
+            lint.error(0, f"histogram {family} lacks a _count sample")
+        elif series[-1][1] == float("inf") and counts[family][1] != series[-1][2]:
+            lint.error(counts[family][0],
+                       f"{family}_count != le=\"+Inf\" bucket value")
+    return lint
+
+
+GOOD = """\
+# HELP hpu_events_total events
+# TYPE hpu_events_total counter
+hpu_events_total 7
+# HELP hpu_ratio a ratio
+# TYPE hpu_ratio gauge
+hpu_ratio 0.5
+# HELP hpu_lat_ns latencies
+# TYPE hpu_lat_ns histogram
+hpu_lat_ns_bucket{le="0"} 1
+hpu_lat_ns_bucket{le="3"} 2
+hpu_lat_ns_bucket{le="+Inf"} 3
+hpu_lat_ns_sum 103
+hpu_lat_ns_count 3
+"""
+
+BAD_CASES = [
+    ("undeclared sample", "hpu_x 1\n"),
+    ("bad name", "# TYPE hpu-bad counter\nhpu-bad 1\n"),
+    ("bad value", "# TYPE hpu_x counter\nhpu_x pear\n"),
+    ("duplicate TYPE", "# TYPE hpu_x counter\n# TYPE hpu_x gauge\nhpu_x 1\n"),
+    ("non-cumulative histogram",
+     "# TYPE hpu_h histogram\nhpu_h_bucket{le=\"1\"} 5\n"
+     "hpu_h_bucket{le=\"3\"} 2\nhpu_h_bucket{le=\"+Inf\"} 5\n"
+     "hpu_h_sum 9\nhpu_h_count 5\n"),
+    ("missing +Inf",
+     "# TYPE hpu_h histogram\nhpu_h_bucket{le=\"1\"} 5\n"
+     "hpu_h_sum 9\nhpu_h_count 5\n"),
+    ("count mismatch",
+     "# TYPE hpu_h histogram\nhpu_h_bucket{le=\"+Inf\"} 5\n"
+     "hpu_h_sum 9\nhpu_h_count 4\n"),
+]
+
+
+def self_test():
+    lint = check_stream(io.StringIO(GOOD))
+    assert not lint.errors, f"clean exposition flagged: {lint.errors}"
+    assert lint.samples == 7, lint.samples
+    for label, text in BAD_CASES:
+        lint = check_stream(io.StringIO(text))
+        assert lint.errors, f"case {label!r} not caught"
+    print("check_prom: self-test OK")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("file", nargs="?", help="Prometheus text-format file")
+    ap.add_argument("--min-samples", type=int, default=1,
+                    help="minimum number of sample lines required")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the built-in fixture checks and exit")
+    args = ap.parse_args()
+
+    if args.self_test:
+        self_test()
+        return
+    if not args.file:
+        print("check_prom: FAIL: need a file (or --self-test)", file=sys.stderr)
+        sys.exit(2)
+    try:
+        with open(args.file, encoding="utf-8") as f:
+            lint = check_stream(f)
+    except OSError as e:
+        print(f"check_prom: FAIL: {e}", file=sys.stderr)
+        sys.exit(2)
+
+    for err in lint.errors:
+        print(f"check_prom: {args.file}: {err}", file=sys.stderr)
+    if lint.errors:
+        sys.exit(1)
+    if lint.samples < args.min_samples:
+        print(f"check_prom: FAIL: only {lint.samples} samples, expected at "
+              f"least {args.min_samples}", file=sys.stderr)
+        sys.exit(1)
+    print(f"check_prom: OK: {lint.samples} samples in {args.file}")
+
+
+if __name__ == "__main__":
+    main()
