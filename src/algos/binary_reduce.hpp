@@ -55,6 +55,23 @@ public:
         return 0;  // never triggers the LLC contention model
     }
 
+    std::optional<verify::TaskFootprint> footprint(
+        const verify::FootprintQuery& query) const override {
+        // Leaves touch nothing (the default run_leaf only charges). A
+        // combine task reads its slice's head and midpoint and rewrites
+        // the head — all inside [j·sz, (j+1)·sz).
+        if (query.phase == verify::Phase::kLeaf) return verify::TaskFootprint{};
+        verify::SymAccess head;
+        head.base = verify::Sym::lit(0);
+        head.jcoef = verify::Sym::size();
+        verify::SymAccess mid = head;
+        mid.base = verify::Sym::size(1, 2);
+        verify::TaskFootprint fp;
+        fp.reads = {head, mid};
+        fp.writes = {head};
+        return fp;
+    }
+
 private:
     std::string name_;
     Op op_;

@@ -94,6 +94,22 @@ public:
         ops.charge_compute(local.compute);
         ops.charge_mem(2 * sz + sz / 2, sim::Pattern::kCoalesced);
     }
+
+    std::optional<verify::TaskFootprint> footprint(
+        const verify::FootprintQuery& query) const override {
+        // A butterfly pass reads and rewrites its own slice in place (the
+        // device body forwards the same log). Leaves touch nothing.
+        if (query.phase == verify::Phase::kLeaf) return verify::TaskFootprint{};
+        verify::SymAccess slice;
+        slice.base = verify::Sym::lit(0);
+        slice.jcoef = verify::Sym::size();
+        slice.words = verify::Sym::size();
+        slice.stride = verify::Sym::lit(1);
+        verify::TaskFootprint fp;
+        fp.reads.push_back(slice);
+        fp.writes.push_back(slice);
+        return fp;
+    }
 };
 
 /// Reference O(n²) DFT for tests.

@@ -49,6 +49,22 @@ public:
         return (1.0 + 2.5 * dev.strided_penalty) / 3.5;
     }
 
+    std::optional<verify::TaskFootprint> footprint(
+        const verify::FootprintQuery& /*query*/) const override {
+        // Every phase reads and rewrites exactly its own slice
+        // [j·sz, (j+1)·sz); the staging area is per-task private scratch
+        // and never logged (see merge_slice).
+        verify::SymAccess slice;
+        slice.base = verify::Sym::lit(0);
+        slice.jcoef = verify::Sym::size();
+        slice.words = verify::Sym::size();
+        slice.stride = verify::Sym::lit(1);
+        verify::TaskFootprint fp;
+        fp.reads.push_back(slice);
+        fp.writes.push_back(slice);
+        return fp;
+    }
+
 protected:
     /// Classic merge with the copy-left-half trick: stage [lo, mid) in
     /// scratch, then merge scratch and [mid, hi) back into [lo, hi).
@@ -157,8 +173,8 @@ public:
         // Declared footprint: interleaved columns ra, rb of src, column j
         // of dst. The ping-pong scratch lives in a disjoint address region
         // so data-vs-scratch accesses can never alias.
-        const std::uint64_t src_base = cur_is_scratch_ ? kScratchBase : 0;
-        const std::uint64_t dst_base = cur_is_scratch_ ? 0 : kScratchBase;
+        const std::uint64_t src_base = cur_is_scratch_ ? verify::kScratchRegionBase : 0;
+        const std::uint64_t dst_base = cur_is_scratch_ ? 0 : verify::kScratchRegionBase;
         ops.log_read(src_base + ra, m, in_runs);
         ops.log_read(src_base + rb, m, in_runs);
         ops.log_write(dst_base + j, 2 * m, count);
@@ -207,11 +223,32 @@ public:
         return ops;
     }
 
-private:
-    /// Virtual base address of dscratch_ in the trace address space —
-    /// far above any real element index, so the two buffers never collide.
-    static constexpr std::uint64_t kScratchBase = 1ull << 40;
+    std::optional<verify::TaskFootprint> footprint(
+        const verify::FootprintQuery& query) const override {
+        // The CPU body and the leaves are MergesortPlain's; only the
+        // device walk differs: task j reads the interleaved columns 2j and
+        // 2j+1 of the ping buffer (stride 2·count across sz/2 rows) and
+        // writes column j of the pong buffer (stride count across sz
+        // rows). Which buffer is ping is a runtime orientation the
+        // conformance checker resolves; the prover only needs ping != pong.
+        if (query.phase != verify::Phase::kDeviceTask) {
+            return MergesortPlain<T>::footprint(query);
+        }
+        using verify::Region;
+        using verify::Sym;
+        verify::SymAccess even{Region::kPing, Sym::lit(0), Sym::lit(2), Sym::size(1, 2),
+                               Sym::count(2)};
+        verify::SymAccess odd = even;
+        odd.base = Sym::lit(1);
+        verify::SymAccess out{Region::kPong, Sym::lit(0), Sym::lit(1), Sym::size(),
+                              Sym::count(1)};
+        verify::TaskFootprint fp;
+        fp.reads = {even, odd};
+        fp.writes = {out};
+        return fp;
+    }
 
+private:
     mutable std::vector<T> dscratch_;
     mutable bool cur_is_scratch_ = false;
     mutable std::uint64_t runs_ = 0;

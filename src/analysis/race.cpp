@@ -75,6 +75,17 @@ void detect_races(std::span<const sim::ItemAccessLog> items, std::uint64_t wave_
                   const RaceOptions& opts) {
     if (total_words(items) > opts.max_words) {
         ++report.launches_skipped;
+        if (opts.fail_on_skip) {
+            Finding f;
+            f.kind = FindingKind::kLaunchSkipped;
+            f.severity = Severity::kError;
+            f.launch = std::string(launch_label);
+            std::ostringstream os;
+            os << "access trace exceeds RaceOptions::max_words (" << opts.max_words
+               << ") and fail_on_skip is set — raise the budget or shrink the launch";
+            f.detail = os.str();
+            report.add(std::move(f));
+        }
         return;
     }
     ++report.launches_checked;

@@ -27,6 +27,10 @@ struct RaceOptions {
     /// At most this many findings are materialized per launch; the rest is
     /// tallied in AnalysisReport::findings_suppressed.
     std::uint64_t max_findings = 8;
+    /// When set, a launch skipped for exceeding max_words is not merely
+    /// counted: it also records a kLaunchSkipped error finding, so
+    /// validation cannot silently under-cover a run.
+    bool fail_on_skip = false;
 };
 
 /// Checks one launch. `items[j]` is work-item j's access log; `wave_width`

@@ -16,6 +16,8 @@ const char* to_string(FindingKind k) noexcept {
         case FindingKind::kRedundantTransfer: return "redundant-transfer";
         case FindingKind::kHostWriteWhileDeviceLive: return "host-write-while-device-live";
         case FindingKind::kInFlightRead: return "in-flight-read";
+        case FindingKind::kFootprintViolation: return "footprint-violation";
+        case FindingKind::kLaunchSkipped: return "launch-skipped";
     }
     return "unknown";
 }

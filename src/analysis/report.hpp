@@ -26,6 +26,8 @@ enum class FindingKind : std::uint8_t {
     kRedundantTransfer,  ///< full copy to a side that is already valid
     kHostWriteWhileDeviceLive,  ///< host() taken while a device copy is live
     kInFlightRead,  ///< kernel touched a streamed chunk before it arrived
+    kFootprintViolation,  ///< runtime access outside the declared footprint
+    kLaunchSkipped,  ///< budget-capped launch surfaced via fail_on_skip
 };
 
 const char* to_string(FindingKind k) noexcept;

@@ -45,6 +45,9 @@
 #include "util/check.hpp"
 #include "util/math.hpp"
 #include "util/stopwatch.hpp"
+#include "verify/conformance.hpp"
+#include "verify/report.hpp"
+#include "verify/verify.hpp"
 
 namespace hpu::core {
 
@@ -80,6 +83,16 @@ struct ExecOptions {
     /// byte-identical with profiling on or off (enforced by test). Off
     /// unless requested here or via the HPU_PROFILE environment variable.
     bool profile = env_profile_default();
+    /// Run the hpu::verify static pass before executing: prove the declared
+    /// footprints race-free and check the planned schedule's invariants.
+    /// The certificate lands in ExecReport::verify; under `validate`,
+    /// statically proven launches swap word-level race concretization for
+    /// the cheaper footprint-conformance check. Never touches the virtual
+    /// clock. Off unless requested here or via HPU_VERIFY.
+    bool verify = verify::env_verify_default();
+    /// Budget/caps for the runtime race detector and the conformance
+    /// checker (see analysis::RaceOptions).
+    analysis::RaceOptions race;
 };
 
 /// Where time went; every executor fills one of these.
@@ -98,6 +111,9 @@ struct ExecReport {
     /// Findings of the correctness passes (empty unless ExecOptions::
     /// validate was on).
     analysis::AnalysisReport analysis;
+    /// Certificate of the static pass (attempted=false unless
+    /// ExecOptions::verify was on).
+    hpu::verify::VerifyReport verify;
     /// The trace session spans were recorded into (echoes ExecOptions::
     /// trace; nullptr when tracing was off).
     trace::TraceSession* trace = nullptr;
@@ -117,6 +133,51 @@ std::uint64_t level_count(const LevelAlgorithm<T>& alg, std::uint64_t n) {
         ++L;
     }
     return L;  // internal levels 0 .. L-1; leaves below level L-1
+}
+
+/// Validation context of one run, threaded into the functional helpers:
+/// the analysis sink (null = validation off), the run's static certificate,
+/// and the detector budget. A default-constructed context means
+/// "validation off".
+struct ValCtx {
+    analysis::AnalysisReport* report = nullptr;
+    const hpu::verify::VerifyReport* cert = nullptr;
+    analysis::RaceOptions race{};
+
+    bool on() const noexcept { return report != nullptr; }
+
+    /// This phase was statically proven race-free — the runtime may check
+    /// footprint conformance instead of concretizing words.
+    bool proven(verify::Phase ph) const {
+        return cert != nullptr && cert->proven(ph);
+    }
+};
+
+inline ValCtx validation_ctx(const ExecOptions& opts, ExecReport& rep) {
+    ValCtx v;
+    if (opts.validate && opts.functional) v.report = &rep.analysis;
+    v.cert = &rep.verify;
+    v.race = opts.race;
+    return v;
+}
+
+/// Race-checks one functional launch: launches whose phase the static pass
+/// certified are checked for conformance against the declared footprint
+/// (O(descriptors) per item); everything else goes through the exact
+/// word-concretizing detector. Both paths share counter and budget
+/// semantics, so a clean run's AnalysisReport is byte-identical either way.
+template <typename T>
+void check_launch(const LevelAlgorithm<T>& alg, verify::Phase phase,
+                  const std::vector<sim::ItemAccessLog>& logs, std::uint64_t wave_width,
+                  std::uint64_t task_size, const std::string& label, const ValCtx& val) {
+    if (val.proven(phase)) {
+        if (auto fp = alg.footprint(verify::FootprintQuery{phase}); fp.has_value()) {
+            verify::check_conformance(*fp, logs, task_size, wave_width, label, *val.report,
+                                      val.race);
+            return;
+        }
+    }
+    analysis::detect_races(logs, wave_width, label, *val.report, val.race);
 }
 
 /// Where a detail helper records its trace spans: the session, the parent
@@ -250,16 +311,15 @@ sim::Ticks analytic_cpu_level(const sim::CpuUnit& cpu, const LevelAlgorithm<T>& 
 }
 
 /// Functional CPU execution of one level: run every task, measure, makespan.
-/// With `report` non-null, task access sets are recorded and race-checked.
+/// With validation on, task access sets are recorded and race-checked.
 template <typename T>
 sim::Ticks functional_cpu_level(sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg,
                                 std::span<T> data, std::uint64_t tasks,
-                                const ExecOptions& opts,
-                                analysis::AnalysisReport* report = nullptr,
+                                const ExecOptions& opts, const ValCtx& val = {},
                                 const SpanCtx& tc = {}) {
     const std::uint64_t w0 = tc.wall_start();
     sim::LevelResult r;
-    if (report == nullptr) {
+    if (!val.on()) {
         r = cpu.run_level(
             tasks,
             [&](std::uint64_t j, sim::OpCounter& ops) { alg.run_task(data, tasks, j, ops); },
@@ -273,8 +333,8 @@ sim::Ticks functional_cpu_level(sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg,
                 alg.run_task(data, tasks, j, ops);
             },
             alg.level_working_set_bytes(data.size()), opts.order);
-        analysis::detect_races(logs, cpu.params().p,
-                               launch_label(alg.name(), "cpu-level", tasks), *report);
+        check_launch(alg, verify::Phase::kCpuTask, logs, cpu.params().p,
+                     data.size() / tasks, launch_label(alg.name(), "cpu-level", tasks), val);
     }
     if (tc.on()) {
         annotate_wall(tc, trace_cpu_level(tc, alg.name(), "cpu-level", r,
@@ -285,19 +345,18 @@ sim::Ticks functional_cpu_level(sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg,
 }
 
 /// Functional device execution of one level as a kernel of `tasks` items.
-/// With `report` non-null, the launch is race-checked AND re-executed in a
+/// With validation on, the launch is race-checked AND re-executed in a
 /// permuted item order to catch order-dependent kernels the declared
 /// access sets miss.
 template <typename T>
 sim::Ticks functional_gpu_level(sim::Device& dev, const LevelAlgorithm<T>& alg,
                                 std::span<T> device_data, std::uint64_t tasks,
-                                analysis::AnalysisReport* report = nullptr,
-                                const SpanCtx& tc = {}) {
+                                const ValCtx& val = {}, const SpanCtx& tc = {}) {
     const std::uint64_t w0 = tc.wall_start();
     std::vector<sim::WaveTrace> waves;
     WaveTraceGuard guard(dev, tc.on() ? &waves : nullptr);
     sim::LaunchResult r;
-    if (report == nullptr) {
+    if (!val.on()) {
         r = dev.launch(tasks, [&](sim::WorkItem& wi) {
             alg.run_device_task(device_data, tasks, wi.global_id(), wi.ops());
         });
@@ -309,7 +368,8 @@ sim::Ticks functional_gpu_level(sim::Device& dev, const LevelAlgorithm<T>& alg,
             alg.run_device_task(device_data, tasks, wi.global_id(), wi.ops());
         });
         const std::string label = launch_label(alg.name(), "gpu-level", tasks);
-        analysis::detect_races(logs, dev.params().g, label, *report);
+        check_launch(alg, verify::Phase::kDeviceTask, logs, dev.params().g,
+                     device_data.size() / tasks, label, val);
         const std::vector<T> after(device_data.begin(), device_data.end());
         auto finding = analysis::check_schedule_independence(
             device_data, std::span<const T>(before), std::span<const T>(after), tasks,
@@ -318,7 +378,7 @@ sim::Ticks functional_gpu_level(sim::Device& dev, const LevelAlgorithm<T>& alg,
                 alg.run_device_task(device_data, tasks, j, throwaway);
             },
             /*seed=*/tasks, label);
-        if (finding) report->add(std::move(*finding));
+        if (finding) val.report->add(std::move(*finding));
     }
     if (tc.on()) {
         annotate_wall(tc,
@@ -399,14 +459,13 @@ sim::Ticks host_pre_pass(const LevelAlgorithm<T>& alg, std::span<T> data, std::s
 /// work, analytic otherwise.
 template <typename T>
 sim::Ticks cpu_leaves(sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg, std::span<T> region,
-                      bool functional, analysis::AnalysisReport* report = nullptr,
-                      const SpanCtx& tc = {}) {
+                      bool functional, const ValCtx& val = {}, const SpanCtx& tc = {}) {
     const std::uint64_t count = region.size() / alg.base_size();
     if (count == 0) return 0.0;
     if (functional && alg.has_leaf_work()) {
         const std::uint64_t w0 = tc.wall_start();
         sim::LevelResult r;
-        if (report == nullptr) {
+        if (!val.on()) {
             r = cpu.run_level(count, [&](std::uint64_t j, sim::OpCounter& ops) {
                 alg.run_leaf(region, count, j, ops);
             });
@@ -416,8 +475,8 @@ sim::Ticks cpu_leaves(sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg, std::span
                 ops.trace = &logs[j];
                 alg.run_leaf(region, count, j, ops);
             });
-            analysis::detect_races(logs, cpu.params().p,
-                                   launch_label(alg.name(), "cpu-leaves", count), *report);
+            check_launch(alg, verify::Phase::kLeaf, logs, cpu.params().p, alg.base_size(),
+                         launch_label(alg.name(), "cpu-leaves", count), val);
         }
         if (tc.on()) {
             annotate_wall(tc, trace_cpu_level(tc, alg.name(), "cpu-leaves", r,
@@ -438,8 +497,7 @@ sim::Ticks cpu_leaves(sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg, std::span
 /// Leaf sweep on the device, one work-item per base block.
 template <typename T>
 sim::Ticks gpu_leaves(sim::Device& dev, const LevelAlgorithm<T>& alg, std::span<T> region,
-                      bool functional, analysis::AnalysisReport* report = nullptr,
-                      const SpanCtx& tc = {}) {
+                      bool functional, const ValCtx& val = {}, const SpanCtx& tc = {}) {
     const std::uint64_t count = region.size() / alg.base_size();
     if (count == 0) return 0.0;
     if (functional && alg.has_leaf_work()) {
@@ -447,7 +505,7 @@ sim::Ticks gpu_leaves(sim::Device& dev, const LevelAlgorithm<T>& alg, std::span<
         std::vector<sim::WaveTrace> waves;
         WaveTraceGuard guard(dev, tc.on() ? &waves : nullptr);
         sim::LaunchResult r;
-        if (report == nullptr) {
+        if (!val.on()) {
             r = dev.launch(count, [&](sim::WorkItem& wi) {
                 alg.run_leaf(region, count, wi.global_id(), wi.ops());
             });
@@ -457,8 +515,8 @@ sim::Ticks gpu_leaves(sim::Device& dev, const LevelAlgorithm<T>& alg, std::span<
                 wi.ops().trace = &logs[wi.global_id()];
                 alg.run_leaf(region, count, wi.global_id(), wi.ops());
             });
-            analysis::detect_races(logs, dev.params().g,
-                                   launch_label(alg.name(), "gpu-leaves", count), *report);
+            check_launch(alg, verify::Phase::kLeaf, logs, dev.params().g, alg.base_size(),
+                         launch_label(alg.name(), "gpu-leaves", count), val);
         }
         if (tc.on()) {
             annotate_wall(tc,
@@ -475,11 +533,6 @@ sim::Ticks gpu_leaves(sim::Device& dev, const LevelAlgorithm<T>& alg, std::span<
                              work, t, trace::SpanKind::kLeaves, dev.params().g);
     }
     return t;
-}
-
-/// The analysis sink for a run: the report when validating, else null.
-inline analysis::AnalysisReport* analysis_sink(const ExecOptions& opts, ExecReport& rep) {
-    return (opts.validate && opts.functional) ? &rep.analysis : nullptr;
 }
 
 /// Opens the root run span of one executor invocation (kNoSpan when
@@ -551,7 +604,10 @@ ExecReport run_sequential(sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg, std::
     sim::CpuUnit single(one_core, cpu.pool());
     ExecReport rep;
     rep.trace = opts.trace;
-    analysis::AnalysisReport* val = detail::analysis_sink(opts, rep);
+    if (opts.verify) {
+        rep.verify = verify::verify_cpu_run(alg, data.size(), single, "sequential");
+    }
+    const detail::ValCtx val = detail::validation_ctx(opts, rep);
     const trace::SpanId run = detail::open_run(opts, alg.name(), "sequential", data.size());
     const detail::SpanCtx tc{opts.trace, run, 0.0, trace::SpanAttrs::kNoLevel, opts.profile};
     rep.cpu_busy += detail::host_pre_pass(alg, data, 1, tc);
@@ -581,7 +637,10 @@ ExecReport run_multicore(sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg, std::s
     alg.prepare(data.size());
     ExecReport rep;
     rep.trace = opts.trace;
-    analysis::AnalysisReport* val = detail::analysis_sink(opts, rep);
+    if (opts.verify) {
+        rep.verify = verify::verify_cpu_run(alg, data.size(), cpu, "multicore");
+    }
+    const detail::ValCtx val = detail::validation_ctx(opts, rep);
     const trace::SpanId run = detail::open_run(opts, alg.name(), "multicore", data.size());
     const detail::SpanCtx tc{opts.trace, run, 0.0, trace::SpanAttrs::kNoLevel, opts.profile};
     rep.cpu_busy += detail::host_pre_pass(alg, data, cpu.params().p, tc);
@@ -611,7 +670,13 @@ ExecReport run_gpu(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std::span<T> dat
     sim::Device& dev = hpu.gpu();
     ExecReport rep;
     rep.trace = opts.trace;
-    analysis::AnalysisReport* val = detail::analysis_sink(opts, rep);
+    if (opts.verify) {
+        verify::RunShape shape;
+        shape.kind = verify::RunShape::Kind::kGpu;
+        shape.include_transfers = include_transfers;
+        rep.verify = verify::verify_hybrid_run(alg, data.size(), hpu, shape);
+    }
+    const detail::ValCtx val = detail::validation_ctx(opts, rep);
     const trace::SpanId run = detail::open_run(opts, alg.name(), "gpu", data.size());
     const detail::SpanCtx tc{opts.trace, run, 0.0, trace::SpanAttrs::kNoLevel, opts.profile};
     rep.cpu_busy += detail::host_pre_pass(alg, data, hpu.params().cpu.p, tc);
@@ -628,7 +693,7 @@ ExecReport run_gpu(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std::span<T> dat
     const std::uint64_t xin_w0 = tc.wall_start();
     if (opts.functional) {
         buf.emplace(std::vector<T>(data.begin(), data.end()));
-        if (val != nullptr) buf->set_trace(&buf_events);
+        if (val.on()) buf->set_trace(&buf_events);
         buf->copy_to_device();
         dspan = buf->device();
     }
@@ -706,8 +771,8 @@ ExecReport run_gpu(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std::span<T> dat
     }
     if (opts.functional) {
         std::copy(buf->host_view().begin(), buf->host_view().end(), data.begin());
-        if (val != nullptr) {
-            analysis::lint_residency(buf_events, alg.name() + "/device-buffer", *val);
+        if (val.on()) {
+            analysis::lint_residency(buf_events, alg.name() + "/device-buffer", *val.report);
         }
     }
     rep.total = rep.cpu_busy + rep.gpu_busy + rep.transfer;

@@ -75,7 +75,7 @@ template <typename T>
 sim::Ticks cpu_levels(sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg, std::span<T> region,
                       std::uint64_t n_total, std::uint64_t from_deep, std::uint64_t to_shallow,
                       const ExecOptions& opts, std::uint64_t* levels_done = nullptr,
-                      analysis::AnalysisReport* report = nullptr, const SpanCtx& tc = {}) {
+                      const ValCtx& val = {}, const SpanCtx& tc = {}) {
     sim::Ticks t = 0.0;
     for (std::uint64_t i = from_deep + 1; i-- > to_shallow;) {
         const std::uint64_t task_size =
@@ -84,7 +84,7 @@ sim::Ticks cpu_levels(sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg, std::span
         if (tasks == 0) continue;
         const SpanCtx lt = tc.shifted(t, i);
         if (opts.functional) {
-            t += functional_cpu_level(cpu, alg, region, tasks, opts, report, lt);
+            t += functional_cpu_level(cpu, alg, region, tasks, opts, val, lt);
         } else {
             const auto rec = alg.recurrence();
             const double ops =
@@ -139,7 +139,12 @@ ExecReport run_basic_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std::sp
         shape.L, static_cast<std::uint64_t>(std::ceil(std::max(0.0, pred.crossover_level))));
 
     sim::Device& dev = hpu.gpu();
-    analysis::AnalysisReport* val = detail::analysis_sink(opts, rep);
+    if (opts.verify) {
+        verify::RunShape vshape;
+        vshape.kind = verify::RunShape::Kind::kBasic;
+        rep.verify = verify::verify_hybrid_run(alg, data.size(), hpu, vshape);
+    }
+    const detail::ValCtx val = detail::validation_ctx(opts, rep);
     sim::Ticks clock = 0.0;
 
     const trace::SpanId run = detail::open_run(opts, alg.name(), "basic-hybrid", data.size());
@@ -159,7 +164,7 @@ ExecReport run_basic_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std::sp
     const std::uint64_t xin_w0 = gtc.wall_start();
     if (opts.functional) {
         buf.emplace(std::vector<T>(data.begin(), data.end()));
-        if (val != nullptr) buf->set_trace(&buf_events);
+        if (val.on()) buf->set_trace(&buf_events);
         buf->copy_to_device();
         dspan = buf->device();
     }
@@ -240,8 +245,8 @@ ExecReport run_basic_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std::sp
     if (opts.trace != nullptr) opts.trace->close(gphase, gcur);
     if (opts.functional) {
         std::copy(buf->host_view().begin(), buf->host_view().end(), data.begin());
-        if (val != nullptr) {
-            analysis::lint_residency(buf_events, alg.name() + "/device-buffer", *val);
+        if (val.on()) {
+            analysis::lint_residency(buf_events, alg.name() + "/device-buffer", *val.report);
         }
     }
 
@@ -279,7 +284,15 @@ ExecReport run_advanced_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std:
     sim::Device& dev = hpu.gpu();
     ExecReport rep;
     rep.trace = opts.trace;
-    analysis::AnalysisReport* val = detail::analysis_sink(opts, rep);
+    if (opts.verify) {
+        verify::RunShape vshape;
+        vshape.kind = verify::RunShape::Kind::kAdvanced;
+        vshape.alpha = alpha;
+        vshape.y = y;
+        vshape.split_tasks = adv.split_tasks;
+        rep.verify = verify::verify_hybrid_run(alg, data.size(), hpu, vshape);
+    }
+    const detail::ValCtx val = detail::validation_ctx(opts, rep);
     const trace::SpanId run = detail::open_run(opts, alg.name(), "advanced-hybrid",
                                                data.size());
     const sim::Ticks pre = detail::host_pre_pass(
@@ -287,19 +300,13 @@ ExecReport run_advanced_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std:
         detail::SpanCtx{opts.trace, run, 0.0, trace::SpanAttrs::kNoLevel, opts.profile});
 
     // --- Split level: tasks tile the array; the CPU takes the first
-    // cpu_tasks slices, the device the rest.
-    std::uint64_t split_tasks = adv.split_tasks;
-    if (split_tasks == 0) {
-        split_tasks = std::max<std::uint64_t>(4 * hpu.params().cpu.p, 64);
-    }
-    std::uint64_t s = 0;
-    while (s < shape.L && shape.tasks_at(s) < split_tasks) ++s;
-    s = std::min<std::uint64_t>(s, y);  // split cannot sit below the transfer level
-    const std::uint64_t S = shape.tasks_at(s);
-    const std::uint64_t cpu_tasks = std::clamp<std::uint64_t>(
-        static_cast<std::uint64_t>(std::llround(alpha * static_cast<double>(S))), 1, S - 1);
-    const std::uint64_t split_elem = cpu_tasks * shape.task_size_at(s);
-    rep.alpha_effective = static_cast<double>(cpu_tasks) / static_cast<double>(S);
+    // cpu_tasks slices, the device the rest. The arithmetic lives in
+    // verify::choose_split so the static verifier checks the same plan.
+    const verify::SplitChoice split = verify::choose_split(
+        shape.L, data.size(), shape.a, alpha, y, adv.split_tasks, hpu.params().cpu.p);
+    const std::uint64_t s = split.s;
+    const std::uint64_t split_elem = split.split_elem;
+    rep.alpha_effective = split.alpha_effective;
 
     std::span<T> cpu_region = data.subspan(0, split_elem);
     std::span<T> gpu_region = data.subspan(split_elem);
@@ -318,7 +325,7 @@ ExecReport run_advanced_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std:
     const std::uint64_t xin_w0 = gtc.wall_start();
     if (opts.functional) {
         buf.emplace(std::vector<T>(gpu_region.begin(), gpu_region.end()));
-        if (val != nullptr) buf->set_trace(&buf_events);
+        if (val.on()) buf->set_trace(&buf_events);
         buf->copy_to_device();
         dspan = buf->device();
     }
@@ -384,8 +391,8 @@ ExecReport run_advanced_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std:
     if (opts.trace != nullptr) opts.trace->close(gphase, pre + gpu_clock);
     if (opts.functional) {
         std::copy(buf->host_view().begin(), buf->host_view().end(), gpu_region.begin());
-        if (val != nullptr) {
-            analysis::lint_residency(buf_events, alg.name() + "/device-buffer", *val);
+        if (val.on()) {
+            analysis::lint_residency(buf_events, alg.name() + "/device-buffer", *val.report);
         }
     }
 

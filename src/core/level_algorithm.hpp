@@ -13,12 +13,14 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 
 #include "model/recurrence.hpp"
 #include "sim/op_counter.hpp"
 #include "sim/params.hpp"
+#include "verify/footprint.hpp"
 
 namespace hpu::core {
 
@@ -131,6 +133,19 @@ public:
     /// write), which is right for mergesort-like algorithms.
     virtual std::uint64_t level_working_set_bytes(std::uint64_t n) const {
         return 2 * n * sizeof(T);
+    }
+
+    /// Symbolic per-task access footprint for the queried phase, in the
+    /// task-local frame (word 0 = first word of task 0's slice; `j` ranges
+    /// over the level's tasks). Returning a footprint lets hpu::verify
+    /// prove the phase race-free before execution — and, under
+    /// ExecOptions::validate, have the runtime check logged accesses
+    /// against it instead of concretizing words. Return std::nullopt (the
+    /// default) to opt out; the verifier then records the phase as
+    /// undeclared and the runtime falls back to exact race detection.
+    virtual std::optional<verify::TaskFootprint> footprint(
+        const verify::FootprintQuery& /*query*/) const {
+        return std::nullopt;
     }
 };
 

@@ -57,29 +57,10 @@ struct PipelinedOptions {
 
 namespace detail {
 
-/// One planned transfer chunk of the GPU slice (element offset + length).
-struct ChunkPlan {
-    std::size_t offset = 0;
-    std::uint64_t words = 0;
-};
-
-/// Splits `region` elements into at most `k` chunks, each a multiple of
-/// `quantum` (the transfer-level task size, so no task ever straddles a
-/// chunk boundary at any level the chunks execute). Leading chunks take
-/// the remainder quanta.
-inline std::vector<ChunkPlan> plan_chunks(std::uint64_t region, std::uint64_t quantum,
-                                          std::uint64_t k) {
-    const std::uint64_t slots = region / quantum;
-    k = std::clamp<std::uint64_t>(k, 1, slots);
-    std::vector<ChunkPlan> plan(k);
-    std::size_t off = 0;
-    for (std::uint64_t c = 0; c < k; ++c) {
-        const std::uint64_t words = (slots / k + (c < slots % k ? 1 : 0)) * quantum;
-        plan[c] = {off, words};
-        off += words;
-    }
-    return plan;
-}
+// The chunk-plan vocabulary lives in hpu::verify (single source of truth
+// shared with the static schedule verifier); aliased here for call sites.
+using verify::ChunkPlan;
+using verify::plan_chunks;
 
 }  // namespace detail
 
@@ -99,92 +80,42 @@ ExecReport run_pipelined_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std
     sim::Device& dev = hpu.gpu();
     ExecReport rep;
     rep.trace = opts.trace;
-    analysis::AnalysisReport* val = detail::analysis_sink(opts, rep);
+    if (opts.verify) {
+        verify::RunShape vshape;
+        vshape.kind = verify::RunShape::Kind::kPipelined;
+        vshape.alpha = alpha;
+        vshape.y = y;
+        vshape.chunks = pip.chunks;
+        vshape.split_tasks = pip.split_tasks;
+        rep.verify = verify::verify_hybrid_run(alg, data.size(), hpu, vshape);
+    }
+    const detail::ValCtx val = detail::validation_ctx(opts, rep);
     const trace::SpanId run = detail::open_run(opts, alg.name(), "pipelined-hybrid",
                                                data.size());
     const sim::Ticks pre = detail::host_pre_pass(
         alg, data, hpu.params().cpu.p,
         detail::SpanCtx{opts.trace, run, 0.0, trace::SpanAttrs::kNoLevel, opts.profile});
 
-    // --- Split level: identical to the advanced hybrid.
-    std::uint64_t split_tasks = pip.split_tasks;
-    if (split_tasks == 0) {
-        split_tasks = std::max<std::uint64_t>(4 * hpu.params().cpu.p, 64);
-    }
-    std::uint64_t s = 0;
-    while (s < shape.L && shape.tasks_at(s) < split_tasks) ++s;
-    s = std::min<std::uint64_t>(s, y);
-    const std::uint64_t S = shape.tasks_at(s);
-    const std::uint64_t cpu_tasks = std::clamp<std::uint64_t>(
-        static_cast<std::uint64_t>(std::llround(alpha * static_cast<double>(S))), 1, S - 1);
-    const std::uint64_t split_elem = cpu_tasks * shape.task_size_at(s);
-    rep.alpha_effective = static_cast<double>(cpu_tasks) / static_cast<double>(S);
+    // --- Split level: identical to the advanced hybrid. The arithmetic
+    // lives in verify::choose_split so the static verifier checks the same
+    // plan the executor runs.
+    const verify::SplitChoice split = verify::choose_split(
+        shape.L, data.size(), shape.a, alpha, y, pip.split_tasks, hpu.params().cpu.p);
+    const std::uint64_t s = split.s;
+    const std::uint64_t split_elem = split.split_elem;
+    rep.alpha_effective = split.alpha_effective;
 
     std::span<T> cpu_region = data.subspan(0, split_elem);
     std::span<T> gpu_region = data.subspan(split_elem);
     const std::uint64_t W = gpu_region.size();
 
-    // --- Chunk plan over the transfer-level quantum, and the merge level d
-    // keeping every chunk's launches saturated.
-    const std::uint64_t quantum = shape.task_size_at(y);
-    std::vector<detail::ChunkPlan> plan = detail::plan_chunks(W, quantum, pip.chunks);
-    std::uint64_t d = y;
-    if (plan.size() > 1) {
-        std::uint64_t w_min = plan.front().words;
-        for (const detail::ChunkPlan& c : plan) w_min = std::min(w_min, c.words);
-        while (d < shape.L && w_min / shape.task_size_at(d) < dev.params().g) ++d;
-    }
-
-    // --- A-priori guard: price both schedules with the analytic arithmetic
-    // the executors themselves use, and pipeline only on a strict win.
-    const auto rec = alg.recurrence();
-    const auto& link = hpu.params().link;
-    auto level_time = [&](std::uint64_t region, std::uint64_t i) -> sim::Ticks {
-        const std::uint64_t tasks = region / shape.task_size_at(i);
-        if (tasks == 0) return 0.0;
-        const double ops =
-            rec.task_cost(static_cast<double>(data.size()), static_cast<double>(i)) *
-            alg.device_ops_multiplier(dev.params());
-        return dev.uniform_launch_time(tasks, ops);
-    };
-    auto leaves_time = [&](std::uint64_t region) -> sim::Ticks {
-        const std::uint64_t count = region / alg.base_size();
-        return count == 0 ? 0.0 : dev.uniform_launch_time(count, rec.leaf_cost);
-    };
-    auto hook_est = [&](std::uint64_t region) -> sim::Ticks {
-        return detail::hook_time(dev, alg.analytic_gpu_hook_ops(region));
-    };
-    auto span_estimate = [&](const std::vector<detail::ChunkPlan>& p,
-                             std::uint64_t dd) -> sim::Ticks {
-        sim::Ticks in_end = 0.0, free = 0.0;
-        std::vector<sim::Ticks> ends(p.size(), 0.0);
-        for (std::size_t c = 0; c < p.size(); ++c) {
-            in_end += link.transfer_time(p[c].words);
-            sim::Ticks compute = dd < shape.L ? hook_est(p[c].words) : 0.0;
-            compute += leaves_time(p[c].words);
-            for (std::uint64_t i = shape.L; i-- > dd;) compute += level_time(p[c].words, i);
-            free = std::max(in_end, free) + compute;
-            ends[c] = free;
-        }
-        if (dd > y) {
-            sim::Ticks merged = dd < shape.L ? hook_est(W) : 0.0;
-            for (std::uint64_t i = dd; i-- > y;) merged += level_time(W, i);
-            merged += hook_est(W);  // final un-interleave (y < dd <= L)
-            return std::max(free + merged, in_end) + link.transfer_time(W);
-        }
-        sim::Ticks cursor = in_end;
-        for (std::size_t c = 0; c < p.size(); ++c) {
-            cursor = std::max(ends[c], cursor) + link.transfer_time(p[c].words);
-        }
-        return cursor;
-    };
-    if (plan.size() > 1) {
-        const std::vector<detail::ChunkPlan> mono{{0, W}};
-        if (!(span_estimate(plan, d) < span_estimate(mono, y))) {
-            plan = mono;
-            d = y;
-        }
-    }
+    // --- Chunk plan, merge level d, and the a-priori never-worse guard:
+    // verify::plan_pipelined IS this executor's decision procedure (moved
+    // there verbatim), so the verified and executed plans coincide.
+    const verify::PipelineChoice pc = verify::plan_pipelined(
+        alg, dev, hpu.params().link, data.size(), shape.L, shape.a, W, y, pip.chunks);
+    const std::vector<detail::ChunkPlan>& plan = pc.plan;
+    const std::uint64_t d = pc.d;
     const std::uint64_t K = plan.size();
     rep.chunks = K;
 
@@ -198,9 +129,9 @@ ExecReport run_pipelined_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std
     std::vector<sim::BufferEvent> buf_events;
     if (opts.functional) {
         buf.emplace(std::vector<T>(gpu_region.begin(), gpu_region.end()));
-        if (val != nullptr) buf->set_trace(&buf_events);
+        if (val.on()) buf->set_trace(&buf_events);
     }
-    sim::Stream stream(link, &hpu.timeline());
+    sim::Stream stream(hpu.params().link, &hpu.timeline());
 
     // Stage 0: eager input stream — every chunk enqueued at tick 0.
     std::vector<sim::StreamEvent> arrived(K);
@@ -348,8 +279,8 @@ ExecReport run_pipelined_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std
     if (opts.trace != nullptr) opts.trace->close(gphase, pre + gpu_clock);
     if (opts.functional) {
         std::copy(buf->host_view().begin(), buf->host_view().end(), gpu_region.begin());
-        if (val != nullptr) {
-            analysis::lint_residency(buf_events, alg.name() + "/device-buffer", *val);
+        if (val.on()) {
+            analysis::lint_residency(buf_events, alg.name() + "/device-buffer", *val.report);
         }
     }
 

@@ -1,0 +1,187 @@
+#include "verify/conformance.hpp"
+
+#include <cmath>
+#include <optional>
+#include <sstream>
+#include <string>
+
+namespace hpu::verify {
+namespace {
+
+std::uint64_t total_words(const std::vector<sim::ItemAccessLog>& items) {
+    std::uint64_t w = 0;
+    for (const auto& it : items) {
+        for (const auto& a : it.reads) w += a.words;
+        for (const auto& a : it.writes) w += a.words;
+    }
+    return w;
+}
+
+/// A declared walk concretized for one task: base already includes the
+/// region offset and the j term.
+struct ConcreteWalk {
+    std::uint64_t base = 0, jcoef = 0, words = 0, stride = 1;
+};
+
+std::optional<std::uint64_t> concretize(const Sym& s, std::uint64_t sz, std::uint64_t count) {
+    const double v = s.eval(static_cast<double>(sz), static_cast<double>(count));
+    if (v < 0.0 || v != std::floor(v)) return std::nullopt;
+    return static_cast<std::uint64_t>(v);
+}
+
+/// Concrete base offset of a region under double-buffer orientation
+/// `flipped` (kPing/kPong bind to data/scratch one way or the other).
+std::uint64_t region_base(Region r, bool flipped) {
+    switch (r) {
+        case Region::kData: return 0;
+        case Region::kScratch: return kScratchRegionBase;
+        case Region::kPing: return flipped ? kScratchRegionBase : 0;
+        case Region::kPong: return flipped ? 0 : kScratchRegionBase;
+    }
+    return 0;
+}
+
+/// True iff every word of the logged walk `p` lies in the concrete walk
+/// `q` — decided from p's endpoints and stride alone.
+bool contains(const ConcreteWalk& q, const sim::MemAccess& p) {
+    auto member = [&](std::uint64_t x) {
+        if (x < q.base) return false;
+        const std::uint64_t off = x - q.base;
+        if (q.stride == 0) return off == 0;
+        return off % q.stride == 0 && off / q.stride < q.words;
+    };
+    if (!member(p.begin)) return false;
+    if (p.words == 1 || p.stride == 0) return true;
+    if (!member(p.last())) return false;
+    if (p.words == 2) return true;
+    // Interior words: p advances in multiples of q.stride, so landing on
+    // both endpoints pins every step inside q.
+    return q.stride <= 1 || p.stride % q.stride == 0;
+}
+
+struct Violation {
+    std::uint64_t item = 0;
+    std::uint64_t address = 0;
+    bool is_write = true;
+};
+
+/// All conformance violations of the launch under one orientation (capped
+/// — one per logged walk is enough to void the proof).
+std::vector<Violation> violations_under(const TaskFootprint& fp,
+                                        const std::vector<sim::ItemAccessLog>& logs,
+                                        std::uint64_t sz, bool flipped) {
+    const std::uint64_t count = logs.size();
+    std::vector<ConcreteWalk> writes;
+    std::vector<ConcreteWalk> reads;  // declared reads only; writes also admit reads
+    auto concretize_all = [&](const std::vector<SymAccess>& decl,
+                              std::vector<ConcreteWalk>& out) -> bool {
+        for (const SymAccess& a : decl) {
+            const auto base = concretize(a.base, sz, count);
+            const auto jcoef = concretize(a.jcoef, sz, count);
+            const auto words = concretize(a.words, sz, count);
+            const auto stride = concretize(a.stride, sz, count);
+            if (!base || !jcoef || !words || !stride) return false;
+            out.push_back(ConcreteWalk{*base + region_base(a.region, flipped), *jcoef,
+                                       *words, *stride});
+        }
+        return true;
+    };
+    std::vector<Violation> out;
+    if (!concretize_all(fp.writes, writes) || !concretize_all(fp.reads, reads)) {
+        // The declaration does not concretize at this shape at all: flag
+        // item 0 so the caller reports a violation either way.
+        out.push_back(Violation{0, 0, true});
+        return out;
+    }
+    auto admitted = [&](const sim::MemAccess& p, std::uint64_t j, bool want_write) {
+        for (const ConcreteWalk& q : writes) {
+            if (contains(ConcreteWalk{q.base + j * q.jcoef, 0, q.words, q.stride}, p)) {
+                return true;
+            }
+        }
+        if (want_write) return false;
+        for (const ConcreteWalk& q : reads) {
+            if (contains(ConcreteWalk{q.base + j * q.jcoef, 0, q.words, q.stride}, p)) {
+                return true;
+            }
+        }
+        return false;
+    };
+    for (std::uint64_t j = 0; j < count; ++j) {
+        for (const sim::MemAccess& p : logs[j].writes) {
+            if (!admitted(p, j, /*want_write=*/true)) {
+                out.push_back(Violation{j, p.begin, true});
+            }
+        }
+        for (const sim::MemAccess& p : logs[j].reads) {
+            if (!admitted(p, j, /*want_write=*/false)) {
+                out.push_back(Violation{j, p.begin, false});
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+void check_conformance(const TaskFootprint& fp,
+                       const std::vector<sim::ItemAccessLog>& logs, std::uint64_t task_size,
+                       std::uint64_t wave_width, std::string_view launch_label,
+                       analysis::AnalysisReport& report,
+                       const analysis::RaceOptions& opts) {
+    // Mirror detect_races' budget semantics byte for byte: the skip counter
+    // and fail_on_skip finding must not depend on which checker ran.
+    if (total_words(logs) > opts.max_words) {
+        ++report.launches_skipped;
+        if (opts.fail_on_skip) {
+            analysis::Finding f;
+            f.kind = analysis::FindingKind::kLaunchSkipped;
+            f.severity = analysis::Severity::kError;
+            f.launch = std::string(launch_label);
+            std::ostringstream os;
+            os << "access trace exceeds RaceOptions::max_words (" << opts.max_words
+               << ") and fail_on_skip is set — raise the budget or shrink the launch";
+            f.detail = os.str();
+            report.add(std::move(f));
+        }
+        return;
+    }
+    ++report.launches_checked;
+
+    // A double-buffered footprint does not know the current ping/pong
+    // orientation; the launch conforms if EITHER binding explains every
+    // logged access.
+    std::vector<Violation> best = violations_under(fp, logs, task_size, /*flipped=*/false);
+    if (!best.empty()) {
+        std::vector<Violation> other =
+            violations_under(fp, logs, task_size, /*flipped=*/true);
+        if (other.size() < best.size()) best = std::move(other);
+    }
+
+    std::uint64_t emitted = 0;
+    for (const Violation& v : best) {
+        if (emitted >= opts.max_findings) {
+            ++report.findings_suppressed;
+            continue;
+        }
+        ++emitted;
+        analysis::Finding f;
+        f.kind = analysis::FindingKind::kFootprintViolation;
+        f.severity = analysis::Severity::kError;
+        f.launch = std::string(launch_label);
+        f.item_a = v.item;
+        f.item_b = v.item;
+        f.wave_a = wave_width > 0 ? v.item / wave_width : 0;
+        f.wave_b = f.wave_a;
+        f.address = v.address;
+        std::ostringstream os;
+        os << "item " << v.item << " (wave " << f.wave_a << ") "
+           << (v.is_write ? "wrote" : "read") << " word " << v.address
+           << " outside its declared footprint — the static race proof assumed the "
+              "declaration and is void for this launch";
+        f.detail = os.str();
+        report.add(std::move(f));
+    }
+}
+
+}  // namespace hpu::verify

@@ -1,0 +1,38 @@
+// Runtime conformance of logged accesses against the declared symbolic
+// footprint. For launches whose phase the prover certified race-free, the
+// executors swap the word-by-word race detector for this check: every
+// logged stride walk must lie inside SOME declared walk of the footprint
+// (writes inside declared writes, reads inside declared reads or writes).
+// Containment is decided per walk from its endpoints and stride — O(#walk
+// descriptors), never O(words) — which is the validate-path payoff of a
+// proof. A logged access outside the declaration is a
+// FindingKind::kFootprintViolation: the footprint lied, and the proof
+// built on it is void.
+//
+// Budget and counter semantics mirror analysis::detect_races exactly
+// (launches_checked, launches_skipped, fail_on_skip, the per-launch
+// finding cap), so the AnalysisReport of a clean run is byte-identical
+// whether a launch was concretized or conformance-checked.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "analysis/race.hpp"
+#include "analysis/report.hpp"
+#include "sim/access_log.hpp"
+#include "verify/footprint.hpp"
+
+namespace hpu::verify {
+
+/// Checks one launch of logs.size() tasks, each of `task_size` words,
+/// against the phase footprint `fp`. `wave_width` is only used for wave
+/// attribution in diagnostics. Findings and counters go to `report`.
+void check_conformance(const TaskFootprint& fp,
+                       const std::vector<sim::ItemAccessLog>& logs, std::uint64_t task_size,
+                       std::uint64_t wave_width, std::string_view launch_label,
+                       analysis::AnalysisReport& report,
+                       const analysis::RaceOptions& opts = {});
+
+}  // namespace hpu::verify

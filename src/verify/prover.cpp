@@ -1,0 +1,208 @@
+#include "verify/prover.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace hpu::verify {
+namespace {
+
+constexpr std::uint64_t kMaxWitnessWords = 4096;  ///< cap per access in the search
+
+bool well_formed(const SymAccess& a) {
+    return a.base.den > 0 && a.jcoef.den > 0 && a.words.den > 0 && a.stride.den > 0;
+}
+
+/// Rule "slice": the access provably stays inside its own task's slice
+/// [j·sz, (j+1)·sz) — jcoef is exactly sz, the stride is a positive
+/// integer constant, the base is nonnegative, and the last word
+/// base + (words-1)·stride still fits below sz.
+bool slice_contained(const SymAccess& a, const Bounds& b) {
+    if (!a.jcoef.equiv(Sym::size())) return false;
+    if (!a.stride.is_const() || a.stride.den != 1 || a.stride.c1 < 1) return false;
+    if (!a.base.nonneg(b)) return false;
+    const Sym extent =
+        Sym::size() - Sym::lit(1) - a.base - (a.words - Sym::lit(1)).scaled(a.stride.c1);
+    return extent.nonneg(b);
+}
+
+/// Rule "column": the access is the interleaved column
+/// { r + m·j + k·m·count : k < words } for constant m >= 1 and constant
+/// residue r in [0, m). Any two such columns with the same m are disjoint
+/// for j != j' (equal r) or for all j (distinct r).
+struct ColumnShape {
+    std::int64_t m = 0;
+    std::int64_t r = 0;
+};
+
+std::optional<ColumnShape> column_shape(const SymAccess& a) {
+    if (a.stride.c1 != 0 || a.stride.c_sz != 0 || a.stride.den != 1) return std::nullopt;
+    const std::int64_t m = a.stride.c_cnt;
+    if (m < 1) return std::nullopt;
+    if (!a.jcoef.equiv(Sym::lit(m))) return std::nullopt;
+    if (!a.base.is_const() || a.base.den != 1) return std::nullopt;
+    const std::int64_t r = a.base.c1;
+    if (r < 0 || r >= m) return std::nullopt;
+    return ColumnShape{m, r};
+}
+
+enum class Rule : std::uint8_t { kRegion, kSlice, kColumn, kNone };
+
+Rule prove_pair(const SymAccess& a, const SymAccess& b, const Bounds& bounds) {
+    if (regions_disjoint(a.region, b.region)) return Rule::kRegion;
+    if (a.region == b.region) {
+        if (slice_contained(a, bounds) && slice_contained(b, bounds)) return Rule::kSlice;
+        const auto ca = column_shape(a);
+        const auto cb = column_shape(b);
+        if (ca.has_value() && cb.has_value() && ca->m == cb->m) return Rule::kColumn;
+    }
+    return Rule::kNone;
+}
+
+/// Concretizes one Sym at (sz, count); nullopt when the value is not a
+/// nonnegative integer there (the combination is inadmissible).
+std::optional<std::uint64_t> concretize(const Sym& s, std::uint64_t sz, std::uint64_t count) {
+    const double v = s.eval(static_cast<double>(sz), static_cast<double>(count));
+    if (v < 0.0 || v != std::floor(v)) return std::nullopt;
+    return static_cast<std::uint64_t>(v);
+}
+
+struct ConcreteWalk {
+    std::uint64_t base = 0, jcoef = 0, words = 0, stride = 1;
+};
+
+std::optional<ConcreteWalk> concretize_walk(const SymAccess& a, std::uint64_t sz,
+                                            std::uint64_t count) {
+    const auto base = concretize(a.base, sz, count);
+    const auto jcoef = concretize(a.jcoef, sz, count);
+    const auto words = concretize(a.words, sz, count);
+    const auto stride = concretize(a.stride, sz, count);
+    if (!base || !jcoef || !words || !stride) return std::nullopt;
+    if (*words == 0 || *words > kMaxWitnessWords) return std::nullopt;
+    return ConcreteWalk{*base, *jcoef, *words, *stride == 0 ? 1 : *stride};
+}
+
+/// Searches a small grid of concrete (count, sz) shapes for an address two
+/// distinct tasks both touch. `identical` pairs (an access against itself)
+/// only scan j_a < j_b.
+std::optional<Counterexample> search_counterexample(const SymAccess& a, const SymAccess& b,
+                                                    bool identical, bool write_write,
+                                                    const ProofContext& ctx) {
+    if (a.region != b.region) return std::nullopt;
+    const std::uint64_t base_b = ctx.b < 2 ? 2 : ctx.b;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> counts;  // (count, level)
+    std::uint64_t c = base_b;
+    for (std::uint64_t lvl = 1; lvl <= 3; ++lvl, c *= base_b) counts.emplace_back(c, lvl);
+    std::vector<std::uint64_t> sizes{ctx.sz_min};
+    if (!ctx.sz_fixed) {
+        sizes.push_back(ctx.sz_min * base_b);
+        sizes.push_back(ctx.sz_min * base_b * base_b);
+    }
+    for (const auto& [count, level] : counts) {
+        for (const std::uint64_t sz : sizes) {
+            const auto wa = concretize_walk(a, sz, count);
+            const auto wb = concretize_walk(b, sz, count);
+            if (!wa || !wb) continue;
+            for (std::uint64_t ja = 0; ja < count; ++ja) {
+                std::unordered_set<std::uint64_t> touched;
+                touched.reserve(wa->words);
+                for (std::uint64_t k = 0; k < wa->words; ++k) {
+                    touched.insert(wa->base + ja * wa->jcoef + k * wa->stride);
+                }
+                const std::uint64_t jb0 = identical ? ja + 1 : 0;
+                for (std::uint64_t jb = jb0; jb < count; ++jb) {
+                    if (jb == ja) continue;
+                    for (std::uint64_t k = 0; k < wb->words; ++k) {
+                        const std::uint64_t x = wb->base + jb * wb->jcoef + k * wb->stride;
+                        if (touched.count(x) != 0) {
+                            return Counterexample{count * sz, level, count, sz,
+                                                  ja,         jb,    x,     write_write};
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+}  // namespace
+
+PhaseProof prove_phase(Phase phase, const std::optional<TaskFootprint>& fp,
+                       const ProofContext& ctx) {
+    PhaseProof pp;
+    pp.phase = phase;
+    if (!fp.has_value()) {
+        pp.status = ProofStatus::kUndeclared;
+        return pp;
+    }
+    for (const SymAccess& a : fp->reads) {
+        if (!well_formed(a)) {
+            pp.status = ProofStatus::kUnknown;
+            pp.rules = "malformed";
+            return pp;
+        }
+    }
+    for (const SymAccess& a : fp->writes) {
+        if (!well_formed(a)) {
+            pp.status = ProofStatus::kUnknown;
+            pp.rules = "malformed";
+            return pp;
+        }
+    }
+    if (fp->writes.empty()) {
+        pp.status = ProofStatus::kProven;
+        pp.rules = fp->empty() ? "empty" : "no-writes";
+        return pp;
+    }
+
+    const Bounds bounds{static_cast<double>(ctx.sz_min), ctx.sz_fixed, 2.0};
+    bool used[3] = {false, false, false};
+    bool unknown = false;
+    auto check = [&](const SymAccess& x, const SymAccess& y, bool identical,
+                     bool write_write) -> bool {
+        ++pp.pairs_checked;
+        const Rule rule = prove_pair(x, y, bounds);
+        if (rule != Rule::kNone) {
+            used[static_cast<int>(rule)] = true;
+            return true;
+        }
+        auto cex = search_counterexample(x, y, identical, write_write, ctx);
+        if (cex.has_value()) {
+            pp.status = ProofStatus::kCounterexample;
+            pp.counterexample = std::move(cex);
+            return false;
+        }
+        unknown = true;
+        return true;
+    };
+    for (std::size_t i = 0; i < fp->writes.size(); ++i) {
+        for (std::size_t k = i; k < fp->writes.size(); ++k) {
+            if (!check(fp->writes[i], fp->writes[k], i == k, /*write_write=*/true)) return pp;
+        }
+    }
+    for (const SymAccess& w : fp->writes) {
+        for (const SymAccess& r : fp->reads) {
+            if (!check(w, r, /*identical=*/false, /*write_write=*/false)) return pp;
+        }
+    }
+    if (unknown) {
+        pp.status = ProofStatus::kUnknown;
+        return pp;
+    }
+    pp.status = ProofStatus::kProven;
+    std::string rules;
+    const char* names[3] = {"region", "slice", "column"};
+    for (int i = 0; i < 3; ++i) {
+        if (!used[i]) continue;
+        if (!rules.empty()) rules += '+';
+        rules += names[i];
+    }
+    pp.rules = rules;
+    return pp;
+}
+
+}  // namespace hpu::verify

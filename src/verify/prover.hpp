@@ -1,0 +1,40 @@
+// The static race prover: decides pairwise disjointness of the symbolic
+// task footprints of one phase, for ALL admissible (sz, count, j != j'),
+// with three closed-form rules —
+//
+//   region: accesses in distinct concrete (or distinct abstract) regions
+//           never share an address;
+//   slice:  each access provably stays inside its own task's slice
+//           [j·sz, (j+1)·sz), so distinct tasks are disjoint;
+//   column: both accesses are interleaved columns x = r + m·j + k·m·count
+//           with the same modulus m — distinct tasks occupy distinct
+//           residues mod m·count.
+//
+// When no rule applies the prover searches a small concrete grid for an
+// overlapping witness; a hit yields a Counterexample the runtime detector
+// is then expected to reproduce, a miss yields kUnknown (runtime checks
+// stay on — the prover never guesses).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "verify/footprint.hpp"
+#include "verify/report.hpp"
+
+namespace hpu::verify {
+
+/// Shape of the phase the proof quantifies over: branching factor b of the
+/// level machine, the smallest task size the phase can see, and whether
+/// the size is fixed (leaf phases) or ranges over sz_min·b^k.
+struct ProofContext {
+    std::uint64_t b = 2;
+    std::uint64_t sz_min = 2;
+    bool sz_fixed = false;
+};
+
+/// Proves (or refutes) intra-level disjointness of one phase's footprint.
+PhaseProof prove_phase(Phase phase, const std::optional<TaskFootprint>& fp,
+                       const ProofContext& ctx);
+
+}  // namespace hpu::verify

@@ -1,0 +1,138 @@
+#include "verify/report.hpp"
+
+#include <sstream>
+
+namespace hpu::verify {
+
+const char* to_string(ProofStatus s) noexcept {
+    switch (s) {
+        case ProofStatus::kProven: return "proven";
+        case ProofStatus::kCounterexample: return "counterexample";
+        case ProofStatus::kUnknown: return "unknown";
+        case ProofStatus::kUndeclared: return "undeclared";
+    }
+    return "?";
+}
+
+std::string Counterexample::describe() const {
+    std::ostringstream os;
+    os << (write_write ? "write-write" : "read-write") << " overlap at word " << word
+       << ": tasks j=" << j_a << " and j'=" << j_b << " of level " << level << " (" << count
+       << " tasks of " << sz << " words, n=" << n << ")";
+    return os.str();
+}
+
+const char* to_string(VerifyFinding::Kind k) noexcept {
+    switch (k) {
+        case VerifyFinding::Kind::kRaceCounterexample: return "race-counterexample";
+        case VerifyFinding::Kind::kMalformedFootprint: return "malformed-footprint";
+        case VerifyFinding::Kind::kCapacityExceeded: return "capacity-exceeded";
+        case VerifyFinding::Kind::kWaveConservation: return "wave-conservation";
+        case VerifyFinding::Kind::kPrecedenceViolation: return "precedence-violation";
+        case VerifyFinding::Kind::kChunkOverlap: return "chunk-overlap";
+        case VerifyFinding::Kind::kNeverWorseViolated: return "never-worse-violated";
+    }
+    return "?";
+}
+
+std::string VerifyFinding::message() const {
+    return std::string(to_string(kind)) + ": " + detail;
+}
+
+const PhaseProof* VerifyReport::proof(Phase p) const {
+    for (const PhaseProof& pp : proofs) {
+        if (pp.phase == p) return &pp;
+    }
+    return nullptr;
+}
+
+bool VerifyReport::proven(Phase p) const {
+    const PhaseProof* pp = proof(p);
+    return pp != nullptr && pp->status == ProofStatus::kProven;
+}
+
+bool VerifyReport::race_free() const {
+    if (proofs.empty()) return false;
+    for (const PhaseProof& pp : proofs) {
+        if (pp.status != ProofStatus::kProven) return false;
+    }
+    return true;
+}
+
+bool VerifyReport::certified() const {
+    return attempted && race_free() && findings.empty();
+}
+
+std::string VerifyReport::summary() const {
+    std::ostringstream os;
+    os << "verify " << algorithm << "/" << executor << " n=" << n << ": ";
+    if (!attempted) {
+        os << "not attempted";
+        return os.str();
+    }
+    os << (certified() ? "certified" : "NOT certified");
+    for (const PhaseProof& pp : proofs) {
+        os << "; " << to_string(pp.phase) << "=" << to_string(pp.status);
+        if (!pp.rules.empty()) os << "(" << pp.rules << ")";
+    }
+    os << "; " << checks_passed << " schedule checks passed, " << findings.size()
+       << " findings";
+    return os.str();
+}
+
+namespace {
+
+void json_escape(std::ostringstream& os, const std::string& s) {
+    os << '"';
+    for (char c : s) {
+        if (c == '"' || c == '\\') os << '\\';
+        os << c;
+    }
+    os << '"';
+}
+
+}  // namespace
+
+std::string VerifyReport::to_json() const {
+    std::ostringstream os;
+    os << "{\"algorithm\":";
+    json_escape(os, algorithm);
+    os << ",\"executor\":";
+    json_escape(os, executor);
+    os << ",\"n\":" << n << ",\"attempted\":" << (attempted ? "true" : "false")
+       << ",\"race_free\":" << (race_free() ? "true" : "false")
+       << ",\"certified\":" << (certified() ? "true" : "false") << ",\"checks_passed\":"
+       << checks_passed << ",\"proofs\":[";
+    for (std::size_t i = 0; i < proofs.size(); ++i) {
+        const PhaseProof& pp = proofs[i];
+        if (i > 0) os << ",";
+        os << "{\"phase\":";
+        json_escape(os, to_string(pp.phase));
+        os << ",\"status\":";
+        json_escape(os, to_string(pp.status));
+        os << ",\"rules\":";
+        json_escape(os, pp.rules);
+        os << ",\"pairs_checked\":" << pp.pairs_checked;
+        if (pp.counterexample.has_value()) {
+            const Counterexample& ce = *pp.counterexample;
+            os << ",\"counterexample\":{\"n\":" << ce.n << ",\"level\":" << ce.level
+               << ",\"count\":" << ce.count << ",\"sz\":" << ce.sz << ",\"j_a\":" << ce.j_a
+               << ",\"j_b\":" << ce.j_b << ",\"word\":" << ce.word << ",\"write_write\":"
+               << (ce.write_write ? "true" : "false") << "}";
+        }
+        os << "}";
+    }
+    os << "],\"findings\":[";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        if (i > 0) os << ",";
+        os << "{\"kind\":";
+        json_escape(os, to_string(findings[i].kind));
+        os << ",\"detail\":";
+        json_escape(os, findings[i].detail);
+        os << "}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+}  // namespace hpu::verify

@@ -22,6 +22,7 @@
 #include "core/hybrid.hpp"
 #include "platforms/platforms.hpp"
 #include "util/rng.hpp"
+#include "verify/verify.hpp"
 
 namespace hpu::analysis {
 namespace {
@@ -111,6 +112,21 @@ TEST(RaceDetector, OversizedTraceIsSkippedNotSilentlyTruncated) {
     EXPECT_TRUE(rep.findings.empty());
     EXPECT_EQ(rep.launches_checked, 0u);
     EXPECT_EQ(rep.launches_skipped, 1u);
+}
+
+TEST(RaceDetector, FailOnSkipSurfacesBudgetCappedLaunches) {
+    std::vector<sim::ItemAccessLog> items(1);
+    items[0].writes.push_back({0, 1000, 1});
+    AnalysisReport rep;
+    RaceOptions opts;
+    opts.max_words = 100;
+    opts.fail_on_skip = true;
+    detect_races(items, 1, "unit/huge", rep, opts);
+    EXPECT_EQ(rep.launches_skipped, 1u);
+    ASSERT_EQ(rep.findings.size(), 1u);
+    EXPECT_EQ(rep.findings[0].kind, FindingKind::kLaunchSkipped);
+    EXPECT_EQ(rep.findings[0].severity, Severity::kError);
+    EXPECT_FALSE(rep.clean());
 }
 
 TEST(RaceDetector, FindingCapCountsSuppressed) {
@@ -244,7 +260,36 @@ public:
         ops.log_read(j * sz, 1);
         ops.log_write(0, 1);
     }
+
+    // The symbolic declaration is just as honest as the access log, so the
+    // static prover must refute it without running anything.
+    std::optional<verify::TaskFootprint> footprint(
+        const verify::FootprintQuery& query) const override {
+        if (query.phase == verify::Phase::kLeaf) return verify::TaskFootprint{};
+        verify::SymAccess word0;
+        word0.base = verify::Sym::lit(0);
+        word0.jcoef = verify::Sym::lit(0);
+        verify::SymAccess own;
+        own.base = verify::Sym::lit(0);
+        own.jcoef = verify::Sym::size();
+        verify::TaskFootprint fp;
+        fp.reads = {word0, own};
+        fp.writes = {word0};
+        return fp;
+    }
 };
+
+TEST(ExecutorValidation, StaticProverRefutesRacyAccumulateBeforeExecution) {
+    RacyAccumulate alg;
+    const auto srep = hpu::verify::prove_algorithm(alg);
+    EXPECT_FALSE(srep.race_free());
+    const auto* pp = srep.proof(hpu::verify::Phase::kCpuTask);
+    ASSERT_NE(pp, nullptr);
+    ASSERT_TRUE(pp->counterexample.has_value());
+    // The witness names the fold word the runtime findings below hit.
+    EXPECT_EQ(pp->counterexample->word, 0u);
+    EXPECT_TRUE(pp->counterexample->write_write);
+}
 
 /// Defect seed 2: order-dependent like RacyAccumulate, but the kernel
 /// *lies about its footprint* — it declares only its own slice. The race
@@ -271,6 +316,8 @@ public:
 core::ExecOptions validating() {
     core::ExecOptions opts;
     opts.validate = true;
+    // Budget-capped launches must fail loudly in tests, not silently skip.
+    opts.race.fail_on_skip = true;
     return opts;
 }
 

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Self-containedness lint for the public headers under src/.
+
+Every header must compile as the first (and only) include of a
+translation unit — no hidden dependency on includes a lucky caller
+happened to pull in first. For each src/**/*.hpp the checker writes a
+one-line TU `#include "<header>"` and runs the C++ compiler in
+-fsyntax-only mode with the repository's include root.
+
+Usage: tools/check_headers.py [--src-dir src] [--cxx g++] [--jobs N]
+       tools/check_headers.py --self-test
+Exit codes: 0 ok, 1 a header is not self-contained, 2 bad input.
+"""
+
+import argparse
+import concurrent.futures
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def find_headers(src_dir):
+    headers = []
+    for root, _dirs, files in os.walk(src_dir):
+        for name in sorted(files):
+            if name.endswith(".hpp"):
+                headers.append(os.path.join(root, name))
+    return sorted(headers)
+
+
+def check_header(header, src_dir, cxx, std):
+    """Returns (header, ok, compiler output)."""
+    rel = os.path.relpath(header, src_dir)
+    with tempfile.NamedTemporaryFile(
+        mode="w", suffix=".cpp", prefix="hdr_", delete=False
+    ) as tu:
+        tu.write(f'#include "{rel}"\n')
+        tu_path = tu.name
+    try:
+        proc = subprocess.run(
+            [cxx, f"-std={std}", "-fsyntax-only", "-I", src_dir, tu_path],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        return rel, proc.returncode == 0, proc.stdout
+    finally:
+        os.unlink(tu_path)
+
+
+def run(src_dir, cxx, std, jobs):
+    headers = find_headers(src_dir)
+    if not headers:
+        print(f"check_headers: FAIL: no headers under {src_dir}", file=sys.stderr)
+        return 2
+    failures = []
+    with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
+        futures = [
+            pool.submit(check_header, h, src_dir, cxx, std) for h in headers
+        ]
+        for fut in futures:
+            rel, ok, output = fut.result()
+            if not ok:
+                failures.append((rel, output))
+    for rel, output in failures:
+        print(f"check_headers: {rel} is not self-contained:", file=sys.stderr)
+        for line in output.splitlines()[:15]:
+            print(f"  {line}", file=sys.stderr)
+    if failures:
+        print(
+            f"check_headers: FAIL: {len(failures)} of {len(headers)} headers",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"check_headers: OK: {len(headers)} headers self-contained")
+    return 0
+
+
+GOOD_HEADER = """\
+#pragma once
+#include <cstdint>
+inline std::uint64_t twice(std::uint64_t x) { return 2 * x; }
+"""
+
+# Uses std::string without including <string>: compiles only if the
+# including TU happened to pull the declaration in first.
+BAD_HEADER = """\
+#pragma once
+inline std::string greet() { return "hi"; }
+"""
+
+
+def self_test(cxx, std):
+    with tempfile.TemporaryDirectory(prefix="check_headers_") as d:
+        os.makedirs(os.path.join(d, "util"))
+        with open(os.path.join(d, "util", "good.hpp"), "w") as f:
+            f.write(GOOD_HEADER)
+        assert run(d, cxx, std, jobs=2) == 0, "self-contained header flagged"
+        with open(os.path.join(d, "util", "bad.hpp"), "w") as f:
+            f.write(BAD_HEADER)
+        assert run(d, cxx, std, jobs=2) == 1, "leaky header not caught"
+    print("check_headers: self-test OK")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    ap.add_argument("--src-dir", default="src", help="include root to scan")
+    ap.add_argument(
+        "--cxx",
+        default=os.environ.get("CXX", "g++"),
+        help="C++ compiler (default: $CXX or g++)",
+    )
+    ap.add_argument("--std", default="c++20", help="language standard")
+    ap.add_argument(
+        "--jobs",
+        type=int,
+        default=os.cpu_count() or 2,
+        help="parallel compiler invocations",
+    )
+    ap.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the built-in fixture checks and exit",
+    )
+    args = ap.parse_args()
+
+    if args.self_test:
+        self_test(args.cxx, args.std)
+        return
+    if not os.path.isdir(args.src_dir):
+        print(
+            f"check_headers: FAIL: no such directory {args.src_dir}",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    sys.exit(run(args.src_dir, args.cxx, args.std, args.jobs))
+
+
+if __name__ == "__main__":
+    main()
