@@ -40,7 +40,9 @@
 #include "metrics/export.hpp"
 #include "metrics/profile.hpp"
 #include "metrics/registry.hpp"
+#include "obs/watchdog.hpp"
 #include "trace/counters.hpp"
+#include "trace/export.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
@@ -181,6 +183,8 @@ int main(int argc, char** argv) {
             bench::out_path(cli, cli.get("profile-out", "PROFILE_wallclock.json"));
         const std::string prom_out =
             bench::out_path(cli, cli.get("prom-out", "METRICS_wallclock.prom"));
+        const std::string trace_out =
+            bench::out_path(cli, cli.get("trace-out", "TRACE_wallclock.json"));
 
         const std::uint64_t n = 1ull << lg_max;
         util::Rng rng(bench::input_seed(cli, n));
@@ -208,13 +212,37 @@ int main(int argc, char** argv) {
             std::cerr << "cannot write " << profile_out << "\n";
         }
 
+        // Regression observatory: re-fit (g, gamma, lambda, delta) from the
+        // profiled session against the configured platform and run the
+        // watchdog checks. Strictly read-only over the closed session.
+        obs::ObserveContext octx;
+        octx.hw = spec.params;
+        octx.rec = alg.recurrence();
+        octx.device_ops_multiplier = alg.device_ops_multiplier(spec.params.gpu);
+        octx.pool = tel;
+        // GPU-only runs in the sweep legitimately underfill the lanes at
+        // the shallow levels (the paper's motivation for the hybrids);
+        // don't flag that as an anomaly in a mixed-executor session.
+        octx.thresholds.gpu_occupancy_floor = 0.0;
+        const obs::ObsReport orep = obs::observe(ts, trace::kNoSpan, octx);
+        std::cout << "\n=== regression observatory ===\n";
+        orep.print(std::cout);
+
         metrics::RegistrySnapshot snap = metrics::registry().snapshot();
         metrics::publish_pool(snap, tel);
         metrics::publish_counters(snap, trace::counters().snapshot());
+        obs::publish_obs(snap, orep);
         if (metrics::write_prometheus_file(snap, prom_out)) {
             std::cout << "metrics -> " << prom_out << "\n";
         } else {
             std::cerr << "cannot write " << prom_out << "\n";
+        }
+        if (trace::write_chrome_file(ts, trace_out)) {
+            std::cout << "trace -> " << trace_out << " (" << ts.spans().size()
+                      << " spans, wall-annotated; diff against a prior run "
+                         "with examples/run_diff)\n";
+        } else {
+            std::cerr << "cannot write " << trace_out << "\n";
         }
     }
     return 0;

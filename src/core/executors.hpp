@@ -39,6 +39,7 @@
 #include "analysis/validate.hpp"
 #include "core/labels.hpp"
 #include "core/level_algorithm.hpp"
+#include "obs/watchdog.hpp"
 #include "sim/buffer.hpp"
 #include "sim/hpu.hpp"
 #include "trace/span.hpp"
@@ -54,6 +55,9 @@ namespace hpu::core {
 /// HPU_PROFILE environment default for ExecOptions::profile (same
 /// convention as HPU_VALIDATE).
 inline bool env_profile_default() { return analysis::env_flag_enabled("HPU_PROFILE"); }
+
+/// HPU_OBSERVE environment default for ExecOptions::observe.
+inline bool env_observe_default() { return analysis::env_flag_enabled("HPU_OBSERVE"); }
 
 /// Execution knobs shared by all executors.
 struct ExecOptions {
@@ -93,6 +97,17 @@ struct ExecOptions {
     /// Budget/caps for the runtime race detector and the conformance
     /// checker (see analysis::RaceOptions).
     analysis::RaceOptions race;
+    /// Run the hpu::obs observation over the finished run's span subtree:
+    /// (g, γ, λ, δ) re-fit vs the configured parameters, utilization
+    /// derivation, and watchdog findings, attached to ExecReport::obs.
+    /// Requires `trace`; no-op without it. Runs strictly after the last
+    /// tick is computed and is read-only over the session, so the virtual
+    /// clock, the trace, and every other ExecReport field are bit-identical
+    /// with observe on or off (enforced by test). Off unless requested here
+    /// or via the HPU_OBSERVE environment variable.
+    bool observe = env_observe_default();
+    /// Thresholds the observation's watchdog checks against.
+    obs::WatchdogThresholds watchdog;
 };
 
 /// Where time went; every executor fills one of these.
@@ -117,6 +132,9 @@ struct ExecReport {
     /// The trace session spans were recorded into (echoes ExecOptions::
     /// trace; nullptr when tracing was off).
     trace::TraceSession* trace = nullptr;
+    /// Observation over this run (attempted=false unless ExecOptions::
+    /// observe was on and a trace session was attached).
+    obs::ObsReport obs;
 };
 
 namespace detail {
@@ -240,6 +258,7 @@ inline trace::SpanId trace_gpu_launch(const SpanCtx& tc, const std::string& name
     a.items = r.items;
     a.waves = r.waves;
     a.ops = r.total_ops.gpu_ops(dp.strided_penalty);
+    a.max_ops = r.max_item_ops;
     a.work = static_cast<double>(r.total_ops.cpu_ops());
     a.coalesced_transactions = util::ceil_div(r.total_ops.mem_coalesced, dp.coalesce_width);
     a.strided_transactions = r.total_ops.mem_strided;
@@ -251,6 +270,7 @@ inline trace::SpanId trace_gpu_launch(const SpanCtx& tc, const std::string& name
         trace::SpanAttrs wa;
         wa.items = w.items;
         wa.ops = w.ops.gpu_ops(dp.strided_penalty);
+        wa.max_ops = w.max_item_ops;
         wa.work = static_cast<double>(w.ops.cpu_ops());
         wa.coalesced_transactions = util::ceil_div(w.ops.mem_coalesced, dp.coalesce_width);
         wa.strided_transactions = w.ops.mem_strided;
@@ -269,6 +289,7 @@ inline trace::SpanId trace_cpu_level(const SpanCtx& tc, const std::string& name,
     a.level = tc.level;
     a.tasks = r.tasks;
     a.ops = static_cast<double>(r.total_ops.cpu_ops());
+    a.max_ops = static_cast<double>(r.max_task_ops);
     a.work = a.ops;
     return tc.session->record(kind, trace::Unit::kCpu, launch_label(name, phase, r.tasks),
                               tc.at, r.time, a, tc.parent);
@@ -285,6 +306,9 @@ inline trace::SpanId trace_analytic_level(const SpanCtx& tc, const std::string& 
     a.tasks = tasks;
     a.work = work;
     a.ops = unit_ops;
+    // Analytic levels are uniform by construction: every task charges the
+    // same unit-priced cost, so the critical item IS the mean.
+    if (tasks > 0) a.max_ops = unit_ops / static_cast<double>(tasks);
     if (unit == trace::Unit::kGpu && g > 0) {
         a.items = tasks;
         a.waves = util::ceil_div(tasks, g);
@@ -561,6 +585,30 @@ inline void close_run(const ExecOptions& opts, trace::SpanId run, sim::Ticks tot
     }
 }
 
+/// Runs the hpu::obs observation over the just-closed run when
+/// ExecOptions::observe is on. Called strictly after close_run — every
+/// tick of the report is already settled, and the observation is read-only
+/// over the session, so enabling it cannot perturb anything (enforced by
+/// test). CPU-only executors pass a partial HpuParams (their CpuParams
+/// plus defaults): without GPU or link spans the device-side parameters
+/// stay non-identifiable and fire no findings.
+template <typename T>
+void observe_run(const ExecOptions& opts, ExecReport& rep, trace::SpanId run,
+                 const sim::HpuParams& hw, const LevelAlgorithm<T>& alg,
+                 util::ThreadPool* pool, std::size_t requested_chunks = 0,
+                 std::size_t settled_chunks = 0) {
+    if (!opts.observe || opts.trace == nullptr || run == trace::kNoSpan) return;
+    obs::ObserveContext ctx;
+    ctx.hw = hw;
+    ctx.rec = alg.recurrence();
+    ctx.device_ops_multiplier = alg.device_ops_multiplier(hw.gpu);
+    if (pool != nullptr) ctx.pool = pool->telemetry();
+    ctx.requested_chunks = requested_chunks;
+    ctx.settled_chunks = settled_chunks;
+    ctx.thresholds = opts.watchdog;
+    rep.obs = obs::observe(*opts.trace, run, ctx);
+}
+
 /// Records a link-transfer span. `wall0` is a wall_start() token taken
 /// before the physical copy; 0 = not profiled.
 inline void trace_transfer(const SpanCtx& tc, const std::string& name, const char* what,
@@ -626,6 +674,9 @@ ExecReport run_sequential(sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg, std::
     }
     rep.total = rep.cpu_busy;
     detail::close_run(opts, run, rep.total);
+    sim::HpuParams hw;
+    hw.cpu = one_core;
+    detail::observe_run(opts, rep, run, hw, alg, cpu.pool());
     return rep;
 }
 
@@ -656,6 +707,9 @@ ExecReport run_multicore(sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg, std::s
     }
     rep.total = rep.cpu_busy;
     detail::close_run(opts, run, rep.total);
+    sim::HpuParams hw;
+    hw.cpu = cpu.params();
+    detail::observe_run(opts, rep, run, hw, alg, cpu.pool());
     return rep;
 }
 
@@ -777,6 +831,7 @@ ExecReport run_gpu(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std::span<T> dat
     }
     rep.total = rep.cpu_busy + rep.gpu_busy + rep.transfer;
     detail::close_run(opts, run, rep.total);
+    detail::observe_run(opts, rep, run, hpu.params(), alg, hpu.cpu().pool());
     return rep;
 }
 

@@ -266,6 +266,7 @@ ExecReport run_basic_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std::sp
     }
     rep.total = rep.gpu_busy + rep.cpu_busy + rep.transfer;
     detail::close_run(opts, run, rep.total);
+    detail::observe_run(opts, rep, run, hpu.params(), alg, hpu.cpu().pool());
     return rep;
 }
 
@@ -434,6 +435,7 @@ ExecReport run_advanced_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std:
     if (opts.trace != nullptr) opts.trace->close(fphase, pre + sync + fin);
     rep.total = pre + sync + fin;
     detail::close_run(opts, run, rep.total);
+    detail::observe_run(opts, rep, run, hpu.params(), alg, hpu.cpu().pool());
     return rep;
 }
 

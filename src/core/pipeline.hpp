@@ -319,6 +319,8 @@ ExecReport run_pipelined_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std
     if (opts.trace != nullptr) opts.trace->close(fphase, pre + sync + fin);
     rep.total = pre + sync + fin;
     detail::close_run(opts, run, rep.total);
+    detail::observe_run(opts, rep, run, hpu.params(), alg, hpu.cpu().pool(), pip.chunks,
+                        rep.chunks);
     return rep;
 }
 

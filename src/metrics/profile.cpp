@@ -6,6 +6,7 @@
 #include <map>
 #include <ostream>
 
+#include "obs/estimate.hpp"
 #include "util/table.hpp"
 
 namespace hpu::metrics {
@@ -87,9 +88,8 @@ ProfileReport derive_profile(const TraceSession& session,
     if (epoch != std::numeric_limits<std::uint64_t>::max()) r.wall_epoch_ns = epoch;
     for (ExecutorProfile& ep : r.executors) {
         for (PhaseProfile& pp : ep.phases) {
-            pp.ns_per_tick = pp.virtual_ticks > 0.0
-                                 ? static_cast<double>(pp.wall_ns) / pp.virtual_ticks
-                                 : 0.0;
+            pp.ns_per_tick =
+                obs::drift_ratio(static_cast<double>(pp.wall_ns), pp.virtual_ticks);
         }
         r.total_wall_ns += ep.wall_ns;
         r.total_virtual += ep.virtual_ticks;
@@ -111,6 +111,9 @@ ProfileReport derive_profile(const TraceSession& session,
                 std::min(1.0, static_cast<double>(pp.busy_ns) / denom);
         }
         pp.overhead_share = std::max(0.0, 1.0 - pool->accounted_share());
+        pp.submit_p50_ns = pool->submit_latency_ns.p50();
+        pp.submit_p90_ns = pool->submit_latency_ns.p90();
+        pp.submit_p99_ns = pool->submit_latency_ns.p99();
     }
     return r;
 }
@@ -135,7 +138,9 @@ void ProfileReport::print(std::ostream& os) const {
            << pool.chunks << " chunks | busy " << pool.busy_ns << " ns, idle "
            << pool.idle_ns << " ns over " << pool.window_ns
            << " ns window | host efficiency " << pool.host_efficiency
-           << ", overhead share " << pool.overhead_share << "\n";
+           << ", overhead share " << pool.overhead_share
+           << " | submit latency p50/p90/p99 " << pool.submit_p50_ns << "/"
+           << pool.submit_p90_ns << "/" << pool.submit_p99_ns << " ns\n";
     }
 }
 
@@ -167,7 +172,10 @@ void export_profile_json(const ProfileReport& report, std::ostream& os) {
            << ",\"busy_ns\":" << pp.busy_ns << ",\"idle_ns\":" << pp.idle_ns
            << ",\"batches\":" << pp.batches << ",\"chunks\":" << pp.chunks
            << ",\"host_efficiency\":" << pp.host_efficiency
-           << ",\"overhead_share\":" << pp.overhead_share << "}";
+           << ",\"overhead_share\":" << pp.overhead_share
+           << ",\"submit_p50_ns\":" << pp.submit_p50_ns
+           << ",\"submit_p90_ns\":" << pp.submit_p90_ns
+           << ",\"submit_p99_ns\":" << pp.submit_p99_ns << "}";
     } else {
         os << "null";
     }

@@ -66,6 +66,11 @@ struct PoolProfile {
     /// 1 − accounted_share: the slice of worker wall time explained by
     /// neither busy nor idle (claim loop, completion bookkeeping).
     double overhead_share = 0.0;
+    /// Submit→first-claim latency quantiles (ns) over the window, estimated
+    /// from the pool's log₂ histogram. 0 when no batches ran.
+    double submit_p50_ns = 0.0;
+    double submit_p90_ns = 0.0;
+    double submit_p99_ns = 0.0;
 };
 
 struct ProfileReport {

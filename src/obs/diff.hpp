@@ -1,0 +1,104 @@
+// Trace-diff engine of hpu::obs (DESIGN.md §13): structurally aligns two
+// span trees (baseline vs candidate run) and attributes the total-time
+// delta to the deepest diverging spans.
+//
+// Alignment: sibling spans are grouped by a structural key — (kind, unit,
+// level, canonical label), where the canonical label strips the
+// "[N tasks]" suffix so a level keeps matching when its task count
+// changes. Same-key sibling groups are aggregated into one entry (summed
+// durations, span counts on each side), which makes the diff robust to
+// scheduler differences that split or merge spans: a count change shows up
+// as base_spans != cand_spans, not as a mismatch. Keys present on only one
+// side become *structural* entries (side != kBoth) whose whole subtree is
+// charged as one signed delta — shape changes are reported, never errors.
+// Run roots are paired by position, so a basic-vs-advanced diff aligns the
+// two runs even though their root labels differ.
+//
+// Attribution: every matched entry carries delta = cand − base ticks and
+// self_delta = delta minus the deltas of its child entries — the part of
+// the regression that originates *at* this span rather than below it. The
+// explain list is the top-K entries by |self_delta|, which names the
+// deepest diverging spans directly.
+//
+// Wall-clock sums ride along for profiled traces but never participate in
+// identical(): the virtual clock is the contract, wall time is weather.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/params.hpp"
+#include "trace/span.hpp"
+
+namespace hpu::obs {
+
+struct DiffOptions {
+    /// Diff individual wave spans too. Off by default: waves are fully
+    /// determined by their level span and only add noise to the explain
+    /// list.
+    bool include_waves = false;
+};
+
+/// Which side(s) of the diff an entry exists on.
+enum class DiffSide : std::uint8_t {
+    kBoth,      ///< matched — delta is cand − base
+    kBaseOnly,  ///< structural: subtree removed in the candidate
+    kCandOnly,  ///< structural: subtree added in the candidate
+};
+
+const char* to_string(DiffSide side) noexcept;
+
+/// One aligned sibling group (or one-sided subtree), in pre-order.
+struct DiffEntry {
+    std::string path;      ///< "/"-joined canonical labels from the root
+    std::string label;     ///< canonical label ("base→cand" for renamed roots)
+    trace::SpanKind kind = trace::SpanKind::kRun;
+    trace::Unit unit = trace::Unit::kHost;
+    std::uint64_t level = trace::SpanAttrs::kNoLevel;
+    int depth = 0;
+    DiffSide side = DiffSide::kBoth;
+    std::size_t base_spans = 0;
+    std::size_t cand_spans = 0;
+    sim::Ticks base_ticks = 0.0;  ///< summed virtual durations, base side
+    sim::Ticks cand_ticks = 0.0;  ///< summed virtual durations, candidate side
+    sim::Ticks delta = 0.0;       ///< cand − base (one-sided: signed subtree)
+    std::uint64_t base_wall_ns = 0;
+    std::uint64_t cand_wall_ns = 0;
+    /// delta − Σ child-entry deltas: the divergence born at this span.
+    /// Structural entries own their whole subtree (self_delta == delta).
+    sim::Ticks self_delta = 0.0;
+};
+
+struct TraceDiff {
+    std::vector<DiffEntry> entries;  ///< pre-order over the aligned forest
+    sim::Ticks base_total = 0.0;     ///< summed root durations, base side
+    sim::Ticks cand_total = 0.0;     ///< summed root durations, candidate side
+    std::uint64_t base_wall_total = 0;
+    std::uint64_t cand_wall_total = 0;
+    std::size_t structural = 0;      ///< entries with side != kBoth
+
+    sim::Ticks delta() const noexcept { return cand_total - base_total; }
+
+    /// True when the two traces are virtually indistinguishable: no
+    /// structural entries, every matched entry's span counts equal and
+    /// |delta| <= eps. eps = 0 demands exactness (a run diffed against
+    /// itself passes — the virtual clock is deterministic).
+    bool identical(double eps = 0.0) const noexcept;
+
+    /// Top-k entries by |self_delta|, most divergent first (zero-delta
+    /// entries excluded). Pointers into `entries`.
+    std::vector<const DiffEntry*> explain(std::size_t k) const;
+
+    /// Aligned tree table plus the headline delta and the explain list.
+    void print(std::ostream& os, std::size_t top_k = 5) const;
+    /// GitHub-flavored markdown (summary line, explain table).
+    void print_markdown(std::ostream& os, std::size_t top_k = 5) const;
+};
+
+/// Diffs two sessions (all runs of each, paired root-by-root in order).
+TraceDiff diff_traces(const trace::TraceSession& base, const trace::TraceSession& cand,
+                      const DiffOptions& opts = {});
+
+}  // namespace hpu::obs

@@ -1,0 +1,44 @@
+// Trace re-import and subtree extraction for hpu::obs.
+//
+// load_chrome_trace parses the repo's own Chrome trace-event export
+// (trace/export.hpp) back into a TraceSession, so run_diff can compare
+// committed baseline traces against fresh runs. The parser is a minimal
+// recursive-descent JSON reader — it understands exactly the subset our
+// exporter emits (objects, arrays, strings, numbers, bools, null) and
+// carries no third-party dependency.
+//
+// copy_subtree rebuilds a standalone session holding one run's subtree
+// with ids remapped, which is how the watchdog scopes per-run analysis in
+// a session that accumulated several runs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/span.hpp"
+
+namespace hpu::obs {
+
+/// A loaded session, or an error description. A session with zero spans
+/// and an empty error means the file was a valid but empty trace.
+struct LoadedTrace {
+    trace::TraceSession session;
+    std::string error;
+
+    bool ok() const noexcept { return error.empty(); }
+};
+
+/// Parses a Chrome trace-event JSON stream produced by trace::export_chrome.
+/// Spans are rebuilt in id order with their virtual clocks, attributes, and
+/// (rebased) wall stamps intact.
+LoadedTrace parse_chrome_trace(std::istream& is);
+
+/// parse_chrome_trace over a file path.
+LoadedTrace load_chrome_trace(const std::string& path);
+
+/// Rebuilds a standalone session holding only the subtree under `root`
+/// (ids remapped, recording order preserved). root == kNoSpan copies the
+/// whole session.
+trace::TraceSession copy_subtree(const trace::TraceSession& session, trace::SpanId root);
+
+}  // namespace hpu::obs

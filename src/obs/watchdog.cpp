@@ -1,0 +1,198 @@
+#include "obs/watchdog.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "obs/trace_io.hpp"
+#include "trace/utilization.hpp"
+
+namespace hpu::obs {
+namespace {
+
+void add_finding(ObsReport& rep, FindingKind kind, std::string message, double value,
+                 double threshold) {
+    ObsFinding f;
+    f.kind = kind;
+    f.message = std::move(message);
+    f.value = value;
+    f.threshold = threshold;
+    rep.findings.push_back(std::move(f));
+}
+
+std::string fmt(double v) {
+    std::ostringstream os;
+    os.precision(4);
+    os << v;
+    return os.str();
+}
+
+void check_params(ObsReport& rep, const WatchdogThresholds& th) {
+    for (const ParamEstimate* e :
+         {&rep.fit.g, &rep.fit.gamma, &rep.fit.lambda, &rep.fit.delta}) {
+        if (!e->identifiable) continue;
+        const double dev = std::abs(e->drift - 1.0);
+        if (dev <= th.param_drift) continue;
+        add_finding(rep, FindingKind::kParamDrift,
+                    e->name + " estimated " + fmt(e->estimated) + " vs configured " +
+                        fmt(e->configured) + " (drift " + fmt(e->drift) + ")",
+                    dev, th.param_drift);
+    }
+}
+
+void check_utilization(ObsReport& rep, const WatchdogThresholds& th) {
+    bool gpu_busy = false;
+    for (const trace::UnitUtilization& u : rep.util.units) {
+        if (u.unit == trace::Unit::kGpu && u.busy > 0.0) gpu_busy = true;
+    }
+    if (gpu_busy && rep.util.gpu_lane_occupancy < th.gpu_occupancy_floor) {
+        add_finding(rep, FindingKind::kGpuCollapse,
+                    "GPU lane occupancy " + fmt(rep.util.gpu_lane_occupancy) +
+                        " under floor " + fmt(th.gpu_occupancy_floor),
+                    rep.util.gpu_lane_occupancy, th.gpu_occupancy_floor);
+    }
+    if (rep.util.transfers > 0 && rep.util.peak_bandwidth > 0.0) {
+        const double share = rep.util.effective_bandwidth / rep.util.peak_bandwidth;
+        if (share < th.link_bandwidth_floor) {
+            add_finding(rep, FindingKind::kLinkCollapse,
+                        "link ran at " + fmt(share * 100.0) + "% of peak bandwidth (floor " +
+                            fmt(th.link_bandwidth_floor * 100.0) + "%)",
+                        share, th.link_bandwidth_floor);
+        }
+    }
+}
+
+void check_pool(ObsReport& rep, const ObserveContext& ctx) {
+    if (!ctx.pool.has_value()) return;
+    const util::PoolTelemetry& pool = *ctx.pool;
+    const WatchdogThresholds& th = ctx.thresholds;
+    if (pool.workers > 0 && pool.window_ns > 0) {
+        double eff = static_cast<double>(pool.worker_busy_ns()) /
+                     (static_cast<double>(pool.workers) *
+                      static_cast<double>(pool.window_ns));
+        if (eff > 1.0) eff = 1.0;
+        if (eff < th.pool_efficiency_floor) {
+            add_finding(rep, FindingKind::kPoolInefficiency,
+                        "host pool workers only " + fmt(eff * 100.0) +
+                            "% busy over the window (floor " +
+                            fmt(th.pool_efficiency_floor * 100.0) + "%)",
+                        eff, th.pool_efficiency_floor);
+        }
+    }
+    if (pool.submit_latency_ns.count > 0) {
+        const double p99 = pool.submit_latency_ns.p99();
+        if (p99 > static_cast<double>(th.submit_latency_p99_ns)) {
+            add_finding(rep, FindingKind::kSubmitLatency,
+                        "pool submit latency p99 " + fmt(p99) + " ns over ceiling " +
+                            fmt(static_cast<double>(th.submit_latency_p99_ns)) + " ns",
+                        p99, static_cast<double>(th.submit_latency_p99_ns));
+        }
+    }
+}
+
+void check_pipeline(ObsReport& rep, const ObserveContext& ctx) {
+    if (ctx.requested_chunks > 1 && ctx.settled_chunks <= 1) {
+        add_finding(rep, FindingKind::kPipelineFallback,
+                    "pipelined executor requested " + std::to_string(ctx.requested_chunks) +
+                        " chunks but the never-worse guard fell back to the advanced plan",
+                    static_cast<double>(ctx.settled_chunks),
+                    static_cast<double>(ctx.requested_chunks));
+    }
+}
+
+void publish_gauge(metrics::RegistrySnapshot& snap, const char* name, const char* help,
+                   double value) {
+    metrics::RegistrySnapshot::GaugeValue g;
+    g.name = name;
+    g.help = help;
+    g.value = value;
+    snap.gauges.push_back(std::move(g));
+}
+
+}  // namespace
+
+const char* to_string(FindingKind kind) noexcept {
+    switch (kind) {
+        case FindingKind::kParamDrift: return "param-drift";
+        case FindingKind::kGpuCollapse: return "gpu-collapse";
+        case FindingKind::kLinkCollapse: return "link-collapse";
+        case FindingKind::kPoolInefficiency: return "pool-inefficiency";
+        case FindingKind::kSubmitLatency: return "submit-latency";
+        case FindingKind::kPipelineFallback: return "pipeline-fallback";
+    }
+    return "?";
+}
+
+void ObsReport::print(std::ostream& os) const {
+    if (!attempted) {
+        os << "observation: not attempted (no trace)\n";
+        return;
+    }
+    os << "parameter re-fit:\n";
+    fit.print(os);
+    os << util.summary() << "\n";
+    if (clean()) {
+        os << "watchdog: clean\n";
+        return;
+    }
+    os << "watchdog: " << findings.size() << " finding(s)\n";
+    for (const ObsFinding& f : findings) {
+        os << "  [" << to_string(f.kind) << "] " << f.message << "\n";
+    }
+}
+
+ObsReport observe(const trace::TraceSession& session, trace::SpanId run_root,
+                  const ObserveContext& ctx) {
+    ObsReport rep;
+    if (session.spans().empty()) return rep;
+    if (run_root != trace::kNoSpan && run_root > session.spans().size()) return rep;
+
+    // Scope to the requested run's subtree so a session that accumulated
+    // several runs yields per-run observations.
+    trace::TraceSession scoped;
+    const trace::TraceSession* scope = &session;
+    if (run_root != trace::kNoSpan) {
+        scoped = copy_subtree(session, run_root);
+        scope = &scoped;
+    }
+
+    rep.attempted = true;
+    rep.fit = estimate_params(*scope, ctx.hw);
+    rep.util = trace::derive_utilization(*scope, ctx.hw, ctx.rec, ctx.device_ops_multiplier);
+
+    check_params(rep, ctx.thresholds);
+    check_utilization(rep, ctx.thresholds);
+    check_pool(rep, ctx);
+    check_pipeline(rep, ctx);
+    return rep;
+}
+
+void publish_obs(metrics::RegistrySnapshot& snap, const ObsReport& obs) {
+    publish_gauge(snap, "hpu_obs_attempted", "observation ran over a trace (1 = yes)",
+                  obs.attempted ? 1.0 : 0.0);
+    publish_gauge(snap, "hpu_obs_findings", "watchdog findings on the observed run",
+                  static_cast<double>(obs.findings.size()));
+    if (!obs.attempted) return;
+    publish_gauge(snap, "hpu_obs_drift_g", "estimated/configured GPU lane count",
+                  obs.fit.g.drift);
+    publish_gauge(snap, "hpu_obs_drift_gamma", "estimated/configured GPU throughput",
+                  obs.fit.gamma.drift);
+    publish_gauge(snap, "hpu_obs_drift_lambda", "estimated/configured transfer latency",
+                  obs.fit.lambda.drift);
+    publish_gauge(snap, "hpu_obs_drift_delta", "estimated/configured per-word transfer cost",
+                  obs.fit.delta.drift);
+    publish_gauge(snap, "hpu_obs_worst_drift",
+                  "largest |drift - 1| over identifiable parameters",
+                  obs.fit.worst_drift());
+    publish_gauge(snap, "hpu_obs_gpu_lane_occupancy", "time-weighted busy lanes / g",
+                  obs.util.gpu_lane_occupancy);
+    publish_gauge(snap, "hpu_obs_gpu_work_share", "GPU share of CPU-normalized work",
+                  obs.util.gpu_work_share);
+    publish_gauge(snap, "hpu_obs_link_utilization", "link busy share of the traced interval",
+                  obs.util.link_utilization);
+    publish_gauge(snap, "hpu_obs_effective_bandwidth", "words per tick while transferring",
+                  obs.util.effective_bandwidth);
+}
+
+}  // namespace hpu::obs

@@ -1,0 +1,102 @@
+// Watchdog findings of hpu::obs (DESIGN.md §13): thresholded anomaly
+// detection over a completed run's telemetry. The watchdog re-fits the
+// machine parameters (obs/estimate.hpp), derives the utilization report
+// (trace/utilization.hpp), and turns threshold violations into findings
+// attached to the run's ExecReport — observational only, after the last
+// tick is computed, so enabling it cannot perturb the virtual clock.
+//
+// Findings are facts with context ("gamma drift 1.42 exceeds 1.25"), not
+// exceptions: a run with findings still returns normally, and CI decides
+// what to gate on. publish_obs mirrors a report into hpu_obs_* gauges so
+// the Prometheus/JSON exporters carry it alongside the pool and simulator
+// metrics.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "metrics/registry.hpp"
+#include "obs/estimate.hpp"
+#include "trace/utilization.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hpu::obs {
+
+enum class FindingKind : std::uint8_t {
+    kParamDrift,       ///< an identifiable (g, γ, λ, δ) estimate drifted
+    kGpuCollapse,      ///< GPU used but lane occupancy under the floor
+    kLinkCollapse,     ///< transfers ran at a sliver of peak bandwidth
+    kPoolInefficiency, ///< host pool workers mostly idle during the window
+    kSubmitLatency,    ///< pool submit→first-claim p99 over the ceiling
+    kPipelineFallback, ///< pipelined executor's never-worse guard fell back
+};
+
+const char* to_string(FindingKind kind) noexcept;
+
+/// One threshold violation: what fired, the observed value, and the
+/// threshold it crossed.
+struct ObsFinding {
+    FindingKind kind = FindingKind::kParamDrift;
+    std::string message;
+    double value = 0.0;
+    double threshold = 0.0;
+};
+
+/// All thresholds the watchdog checks. Defaults are deliberately loose —
+/// they flag collapse, not jitter.
+struct WatchdogThresholds {
+    /// |drift − 1| ceiling per identifiable parameter estimate.
+    double param_drift = 0.25;
+    /// Lane-occupancy floor, checked only when the GPU did work.
+    double gpu_occupancy_floor = 0.50;
+    /// effective/peak bandwidth floor, checked only when transfers ran.
+    double link_bandwidth_floor = 0.25;
+    /// worker-busy share floor for the host pool window.
+    double pool_efficiency_floor = 0.20;
+    /// p99 ceiling for the pool's submit→first-claim latency.
+    std::uint64_t submit_latency_p99_ns = 50'000'000;
+};
+
+/// Everything the watchdog needs besides the trace: the machine and
+/// algorithm the run executed on (to price the model side), plus optional
+/// wall-clock context the trace does not carry.
+struct ObserveContext {
+    sim::HpuParams hw{};
+    model::Recurrence rec{};
+    double device_ops_multiplier = 1.0;
+    /// Host pool telemetry for the run's window, when a pool was involved.
+    std::optional<util::PoolTelemetry> pool;
+    /// Pipelined executor: chunks requested vs chunks the never-worse
+    /// guard settled on (settled <= 1 with requested > 1 means fallback).
+    std::size_t requested_chunks = 0;
+    std::size_t settled_chunks = 0;
+    WatchdogThresholds thresholds{};
+};
+
+/// The observation attached to an ExecReport when observe mode is on.
+struct ObsReport {
+    bool attempted = false;  ///< observe ran (trace present, root found)
+    ParamFit fit{};
+    trace::UtilizationReport util{};
+    std::vector<ObsFinding> findings;
+
+    bool clean() const noexcept { return findings.empty(); }
+
+    /// Parameter table, utilization summary, and the findings list.
+    void print(std::ostream& os) const;
+};
+
+/// Runs the full observation over the subtree under `run_root` (kNoSpan =
+/// whole session): parameter re-fit, utilization derivation, watchdog
+/// checks. Read-only over the session.
+ObsReport observe(const trace::TraceSession& session, trace::SpanId run_root,
+                  const ObserveContext& ctx);
+
+/// Appends an ObsReport to a metrics snapshot under the hpu_obs_* namespace
+/// (findings count, per-parameter drift, occupancy/bandwidth gauges).
+void publish_obs(metrics::RegistrySnapshot& snap, const ObsReport& obs);
+
+}  // namespace hpu::obs

@@ -1,6 +1,7 @@
 #include "trace/export.hpp"
 
 #include <fstream>
+#include <limits>
 #include <ostream>
 
 namespace hpu::trace {
@@ -63,6 +64,7 @@ void write_args(std::ostream& os, const Span& s, std::uint64_t wall_epoch) {
     if (s.attrs.items != 0) os << ",\"items\":" << s.attrs.items;
     if (s.attrs.waves != 0) os << ",\"waves\":" << s.attrs.waves;
     if (s.attrs.ops != 0.0) os << ",\"ops\":" << s.attrs.ops;
+    if (s.attrs.max_ops != 0.0) os << ",\"max_ops\":" << s.attrs.max_ops;
     if (s.attrs.work != 0.0) os << ",\"work\":" << s.attrs.work;
     if (s.attrs.bytes != 0) os << ",\"bytes\":" << s.attrs.bytes;
     if (s.attrs.coalesced_transactions != 0) {
@@ -77,6 +79,10 @@ void write_args(std::ostream& os, const Span& s, std::uint64_t wall_epoch) {
 }  // namespace
 
 void export_chrome(const TraceSession& session, std::ostream& os) {
+    // Full double precision so a re-imported trace (obs/trace_io.hpp) is
+    // bit-faithful to the session it came from — a file diffed against
+    // itself must be exactly empty.
+    const auto prec = os.precision(std::numeric_limits<double>::max_digits10);
     os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
     bool first = true;
     // Track-name metadata so Perfetto shows cpu/gpu/link instead of bare
@@ -96,11 +102,14 @@ void export_chrome(const TraceSession& session, std::ostream& os) {
         os << "}";
     }
     os << "]}\n";
+    os.precision(prec);
 }
 
 void export_csv(const TraceSession& session, std::ostream& os) {
-    os << "id,parent,kind,unit,label,start,end,duration,level,tasks,items,waves,ops,work,"
-          "bytes,coalesced_transactions,strided_transactions,wall_start_ns,wall_ns\n";
+    const auto prec = os.precision(std::numeric_limits<double>::max_digits10);
+    os << "id,parent,kind,unit,label,start,end,duration,level,tasks,items,waves,ops,"
+          "max_ops,work,bytes,coalesced_transactions,strided_transactions,wall_start_ns,"
+          "wall_ns\n";
     const std::uint64_t wall_epoch = wall_epoch_of(session);
     for (const Span& s : session.spans()) {
         // Labels follow the launch-label scheme (no commas/quotes), so no
@@ -109,12 +118,14 @@ void export_csv(const TraceSession& session, std::ostream& os) {
            << ',' << s.label << ',' << s.start << ',' << s.end << ',' << s.duration() << ',';
         if (s.attrs.level != SpanAttrs::kNoLevel) os << s.attrs.level;
         os << ',' << s.attrs.tasks << ',' << s.attrs.items << ',' << s.attrs.waves << ','
-           << s.attrs.ops << ',' << s.attrs.work << ',' << s.attrs.bytes << ','
+           << s.attrs.ops << ',' << s.attrs.max_ops << ',' << s.attrs.work << ','
+           << s.attrs.bytes << ','
            << s.attrs.coalesced_transactions << ',' << s.attrs.strided_transactions << ',';
         if (s.wall_ns != 0) os << (s.wall_start_ns - wall_epoch) << ',' << s.wall_ns;
         else os << "0,0";
         os << '\n';
     }
+    os.precision(prec);
 }
 
 bool write_chrome_file(const TraceSession& session, const std::string& path) {

@@ -58,6 +58,7 @@ void TraceSession::annotate(SpanId id, const SpanAttrs& attrs) {
     if (attrs.items != 0) a.items = attrs.items;
     if (attrs.waves != 0) a.waves = attrs.waves;
     if (attrs.ops != 0.0) a.ops = attrs.ops;
+    if (attrs.max_ops != 0.0) a.max_ops = attrs.max_ops;
     if (attrs.work != 0.0) a.work = attrs.work;
     if (attrs.bytes != 0) a.bytes = attrs.bytes;
     if (attrs.coalesced_transactions != 0) {

@@ -59,6 +59,11 @@ struct SpanAttrs {
     std::uint64_t items = 0;         ///< work-items (launches/waves), words (transfers)
     std::uint64_t waves = 0;         ///< SIMT waves of a launch
     double ops = 0.0;                ///< unit-priced ops charged in this span
+    /// Largest single-item (GPU) / single-task (CPU) unit-priced op count in
+    /// this span. On a wave span, duration == max_ops / gamma exactly, which
+    /// is what lets obs::estimate re-fit gamma from non-uniform kernels
+    /// without bias (mean ops/items would under-estimate it).
+    double max_ops = 0.0;
     double work = 0.0;               ///< CPU-normalized ops (the paper's work units)
     std::uint64_t bytes = 0;         ///< payload bytes (transfers)
     std::uint64_t coalesced_transactions = 0;  ///< memory transactions, coalesced

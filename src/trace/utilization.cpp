@@ -5,6 +5,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/estimate.hpp"
 #include "util/math.hpp"
 #include "util/table.hpp"
 
@@ -17,28 +18,6 @@ namespace {
 bool is_work_span(const Span& s) noexcept {
     return s.kind == SpanKind::kLevel || s.kind == SpanKind::kLeaves ||
            s.kind == SpanKind::kHook || s.kind == SpanKind::kTransfer;
-}
-
-/// hpu::model price of one level/leaves span on its unit (pure §5 model:
-/// no contention, no imbalance — that is exactly what drift exposes).
-sim::Ticks model_price(const Span& s, double n, const sim::HpuParams& hw,
-                       const model::Recurrence& rec, double dev_mult) {
-    const double tasks = static_cast<double>(s.attrs.tasks);
-    if (tasks <= 0.0) return 0.0;
-    const double task_cost = s.kind == SpanKind::kLeaves
-                                 ? rec.leaf_cost
-                                 : rec.task_cost(n, static_cast<double>(s.attrs.level));
-    if (s.unit == Unit::kCpu) {
-        const auto rounds = static_cast<double>(
-            util::ceil_div(s.attrs.tasks, static_cast<std::uint64_t>(hw.cpu.p)));
-        return rounds * task_cost;
-    }
-    const auto waves = static_cast<double>(util::ceil_div(s.attrs.tasks, hw.gpu.g));
-    // Leaf sweeps charge plain compute (no memory walk), so the device op
-    // multiplier applies only to internal levels — mirroring the analytic
-    // executor paths.
-    const double mult = s.kind == SpanKind::kLeaves ? 1.0 : dev_mult;
-    return hw.gpu.launch_overhead + waves * task_cost * mult / hw.gpu.gamma;
 }
 
 }  // namespace
@@ -104,7 +83,7 @@ UtilizationReport derive_utilization(const TraceSession& session, const sim::Hpu
             (s.unit == Unit::kGpu ? d.on_gpu : d.on_cpu) = true;
             d.tasks += s.attrs.tasks;
             d.observed += s.duration();
-            d.predicted += model_price(s, n, hw, rec, device_ops_multiplier);
+            d.predicted += obs::price_level_span(s, n, hw, rec, device_ops_multiplier);
         }
     }
 
@@ -129,9 +108,7 @@ UtilizationReport derive_utilization(const TraceSession& session, const sim::Hpu
     for (const auto& [level, drift] : by_level) rep.levels.push_back(drift);
     std::sort(rep.levels.begin(), rep.levels.end(),
               [](const LevelDrift& a, const LevelDrift& b) { return a.level > b.level; });
-    for (LevelDrift& d : rep.levels) {
-        d.drift = d.predicted > 0.0 ? d.observed / d.predicted : 0.0;
-    }
+    for (LevelDrift& d : rep.levels) d.drift = obs::drift_ratio(d.observed, d.predicted);
     return rep;
 }
 

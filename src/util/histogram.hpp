@@ -38,6 +38,38 @@ struct HistogramSnapshot {
         return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
     }
 
+    /// Quantile estimate (q in [0, 1]) by linear interpolation inside the
+    /// log₂ bucket holding rank q·count. The zero bucket is exact; other
+    /// buckets resolve to within their width, and the result is clamped to
+    /// [min, max], which makes the extremes (and any single-value
+    /// population) exact.
+    double quantile(double q) const noexcept {
+        if (count == 0) return 0.0;
+        if (q <= 0.0) return static_cast<double>(min);
+        if (q >= 1.0) return static_cast<double>(max);
+        const double rank = q * static_cast<double>(count);
+        double cum = 0.0;
+        for (std::size_t i = 0; i < kBuckets; ++i) {
+            const auto n = static_cast<double>(buckets[i]);
+            if (n == 0.0) continue;
+            if (cum + n >= rank) {
+                const double lo =
+                    i == 0 ? 0.0 : static_cast<double>(std::uint64_t{1} << (i - 1));
+                const double hi = i == 0 ? 0.0 : bucket_bound(i);
+                double v = lo + (rank - cum) / n * (hi - lo);
+                if (v < static_cast<double>(min)) v = static_cast<double>(min);
+                if (v > static_cast<double>(max)) v = static_cast<double>(max);
+                return v;
+            }
+            cum += n;
+        }
+        return static_cast<double>(max);
+    }
+
+    double p50() const noexcept { return quantile(0.50); }
+    double p90() const noexcept { return quantile(0.90); }
+    double p99() const noexcept { return quantile(0.99); }
+
     /// Upper bound (inclusive style: values < bound) of bucket i, i.e. the
     /// Prometheus `le` edge. The last bucket's bound is reported by the
     /// exporter as +Inf.

@@ -66,6 +66,52 @@ TEST(Log2Histogram, RecordSnapshotResetRoundTrip) {
     EXPECT_EQ(s.max, 0u);
 }
 
+TEST(Log2Histogram, QuantilesInterpolateWithinBuckets) {
+    util::Log2Histogram h;
+    // 100 samples spread over [64, 128): one log2 bucket, so quantiles
+    // interpolate linearly across it but clamp to the observed extremes.
+    for (std::uint64_t v = 0; v < 100; ++v) h.record(64 + v / 2);
+    const util::HistogramSnapshot s = h.snapshot();
+    EXPECT_GE(s.p50(), static_cast<double>(s.min));
+    EXPECT_LE(s.p50(), static_cast<double>(s.max));
+    EXPECT_LE(s.p50(), s.p90());
+    EXPECT_LE(s.p90(), s.p99());
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), static_cast<double>(s.min));
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), static_cast<double>(s.max));
+}
+
+TEST(Log2Histogram, QuantilesAcrossBucketsSeparateTheTail) {
+    util::Log2Histogram h;
+    for (int i = 0; i < 98; ++i) h.record(10);     // bucket [8, 16)
+    h.record(1000);                                // bucket [512, 1024)
+    h.record(1000);
+    const util::HistogramSnapshot s = h.snapshot();
+    EXPECT_LT(s.p50(), 16.0);
+    EXPECT_LT(s.p90(), 16.0);
+    EXPECT_GE(s.p99(), 512.0);  // the tail lands in the high bucket
+    EXPECT_LE(s.p99(), 1000.0);
+}
+
+TEST(Log2Histogram, QuantileEdgeCases) {
+    util::Log2Histogram empty;
+    EXPECT_EQ(empty.snapshot().p50(), 0.0);
+    EXPECT_EQ(empty.snapshot().p99(), 0.0);
+
+    util::Log2Histogram zeros;
+    zeros.record(0);
+    zeros.record(0);
+    EXPECT_EQ(zeros.snapshot().p50(), 0.0);
+    EXPECT_EQ(zeros.snapshot().p99(), 0.0);
+
+    util::Log2Histogram single;
+    single.record(777);
+    const util::HistogramSnapshot s = single.snapshot();
+    // One sample: every quantile is that sample (clamped to min == max).
+    EXPECT_DOUBLE_EQ(s.p50(), 777.0);
+    EXPECT_DOUBLE_EQ(s.p90(), 777.0);
+    EXPECT_DOUBLE_EQ(s.p99(), 777.0);
+}
+
 // ---------------------------------------------------------------------------
 // Registry.
 
@@ -320,6 +366,74 @@ TEST(Profile, UnprofiledSessionYieldsNoExecutors) {
     run_advanced_hybrid(h, alg, std::span(data), 0.3, 2, adv);
     for (const trace::Span& s : ts.spans()) EXPECT_EQ(s.wall_ns, 0u);
     EXPECT_TRUE(metrics::derive_profile(ts).executors.empty());
+}
+
+TEST(Profile, EmptySessionYieldsEmptyReport) {
+    trace::TraceSession ts;
+    const metrics::ProfileReport rep = metrics::derive_profile(ts);
+    EXPECT_TRUE(rep.executors.empty());
+    EXPECT_EQ(rep.total_wall_ns, 0u);
+    EXPECT_EQ(rep.total_virtual, 0.0);
+    EXPECT_FALSE(rep.pool.present);
+    std::ostringstream os;
+    rep.print(os);  // must not crash, and must say why it is empty
+    EXPECT_NE(os.str().find("no wall-annotated spans"), std::string::npos);
+}
+
+TEST(Profile, SingleAnnotatedRunSpanProfilesWithoutPhases) {
+    trace::TraceSession ts;
+    const trace::SpanId run =
+        ts.record(trace::SpanKind::kRun, trace::Unit::kHost, "solo/run", 0.0, 42.0);
+    ts.annotate_wall(run, 1'000, 84);
+    const metrics::ProfileReport rep = metrics::derive_profile(ts);
+    ASSERT_EQ(rep.executors.size(), 1u);
+    EXPECT_EQ(rep.executors[0].wall_ns, 84u);
+    EXPECT_EQ(rep.executors[0].virtual_ticks, 42.0);
+    EXPECT_EQ(rep.executors[0].attributed_wall_ns, 0u);
+    EXPECT_TRUE(rep.executors[0].phases.empty());
+    EXPECT_EQ(rep.wall_epoch_ns, 1'000u);
+}
+
+TEST(Profile, MixedProfiledAndUnprofiledSubtreesSkipTheUnprofiled) {
+    // Two runs in one session; only the first was profiled. The second's
+    // spans all carry the wall_ns == 0 sentinel and must not contribute an
+    // executor or shift the epoch.
+    trace::TraceSession ts;
+    const auto r1 = ts.record(trace::SpanKind::kRun, trace::Unit::kHost, "a/run", 0.0, 10.0);
+    trace::SpanAttrs attrs;
+    attrs.level = 1;
+    const auto c1 = ts.record(trace::SpanKind::kLevel, trace::Unit::kCpu, "a/level", 0.0,
+                              6.0, attrs, r1);
+    const auto r2 = ts.record(trace::SpanKind::kRun, trace::Unit::kHost, "b/run", 0.0, 20.0);
+    ts.record(trace::SpanKind::kLevel, trace::Unit::kCpu, "b/level", 0.0, 20.0, attrs, r2);
+    ts.annotate_wall(r1, 5'000, 100);
+    ts.annotate_wall(c1, 5'010, 60);
+
+    const metrics::ProfileReport rep = metrics::derive_profile(ts);
+    ASSERT_EQ(rep.executors.size(), 1u);
+    EXPECT_EQ(rep.executors[0].label, "a/run");
+    EXPECT_EQ(rep.executors[0].wall_ns, 100u);
+    EXPECT_EQ(rep.executors[0].attributed_wall_ns, 60u);
+    ASSERT_EQ(rep.executors[0].phases.size(), 1u);
+    EXPECT_EQ(rep.executors[0].phases[0].label, "(direct)");
+    EXPECT_DOUBLE_EQ(rep.executors[0].phases[0].ns_per_tick, 10.0);
+    EXPECT_EQ(rep.total_wall_ns, 100u);
+    EXPECT_EQ(rep.wall_epoch_ns, 5'000u);
+}
+
+TEST(Profile, PoolSubmitLatencyQuantilesFoldIn) {
+    util::ThreadPool pool(2);
+    pool.parallel_for(512, [](std::size_t) {});
+    const util::PoolTelemetry t = pool.telemetry();
+    trace::TraceSession ts;  // no annotated spans needed for the pool side
+    const metrics::ProfileReport rep = metrics::derive_profile(ts, &t);
+    ASSERT_TRUE(rep.pool.present);
+    EXPECT_GT(rep.pool.submit_p99_ns, 0.0);
+    EXPECT_LE(rep.pool.submit_p50_ns, rep.pool.submit_p90_ns);
+    EXPECT_LE(rep.pool.submit_p90_ns, rep.pool.submit_p99_ns);
+    std::ostringstream os;
+    metrics::export_profile_json(rep, os);
+    EXPECT_NE(os.str().find("\"submit_p99_ns\""), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

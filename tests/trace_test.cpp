@@ -468,8 +468,8 @@ TEST(Exporters, CsvHasHeaderAndOneRowPerSpan) {
     ASSERT_TRUE(std::getline(in, line));
     EXPECT_EQ(line,
               "id,parent,kind,unit,label,start,end,duration,level,tasks,items,waves,ops,"
-              "work,bytes,coalesced_transactions,strided_transactions,wall_start_ns,"
-              "wall_ns");
+              "max_ops,work,bytes,coalesced_transactions,strided_transactions,"
+              "wall_start_ns,wall_ns");
     std::size_t rows = 0;
     while (std::getline(in, line)) ++rows;
     EXPECT_EQ(rows, session.spans().size());

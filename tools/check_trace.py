@@ -11,7 +11,17 @@ its parent's interval, and streamed transfer chunks hang off a phase
 span. Used by CI as a smoke gate after running a traced bench; exits
 non-zero with a message on the first violation.
 
+On profiled exports it also validates the wall-clock side (the second of
+the two clocks, DESIGN.md §11): wall_ns is only ever serialized when >= 1
+(wall_ns == 0 is the in-memory "unprofiled" sentinel and must be omitted),
+wall_start_ns values are rebased so the earliest annotated span starts at
+0, every annotated span's wall interval nests inside its nearest annotated
+ancestor's (modulo the 1 ns clamp), and grouping-only spans (phase, wave)
+are never annotated. --require-wall turns "no annotated spans at all" into
+a failure, for fixtures that ran with --profile.
+
 Usage: tools/check_trace.py <trace.json> [--min-spans N] [--expect-chunks K]
+                            [--require-wall]
 """
 
 import argparse
@@ -21,11 +31,17 @@ import sys
 TRACKS = {"host", "cpu", "gpu", "link"}
 KINDS = {"run", "phase", "level", "leaves", "wave", "transfer", "hook"}
 
-# Containment slack: the exporter prints tick values with 6 significant
-# digits, so ts + dur carries up to ~1e-5 relative rounding; allow that
-# noise, not real overhang (a real escape is at least one transfer, λ
-# ticks, orders of magnitude above the tolerance).
+# Containment slack for the virtual clock: tick values survive the JSON
+# round trip bit-faithfully (the exporter prints max_digits10), but keep a
+# small relative tolerance so the check stays robust to any future
+# lower-precision writer (a real escape is at least one transfer, λ ticks,
+# orders of magnitude above it).
 EPS = 2e-5
+
+# Wall containment slack in ns: every annotated span's wall_ns is clamped
+# to >= 1 ns, so a child measured as "immeasurably short" can overhang its
+# ancestor's measured interval by a few clamps.
+WALL_SLACK_NS = 16
 
 
 def fail(msg):
@@ -74,6 +90,62 @@ def check_nesting(complete):
                      f"'{pev['cat']}' span, expected a phase")
     if roots == 0 and complete:
         fail("no root span (every span has a parent)")
+    return by_id
+
+
+def check_wall(complete, by_id, require_wall):
+    """Validate the wall-clock annotations of a profiled export."""
+    annotated = []
+    for ev in complete:
+        args = ev["args"]
+        has_ns = "wall_ns" in args
+        has_start = "wall_start_ns" in args
+        if has_ns != has_start:
+            fail(f"span {args['span_id']} ('{ev['name']}') has a partial wall "
+                 f"annotation (wall_ns and wall_start_ns must come together)")
+        if not has_ns:
+            continue
+        if not isinstance(args["wall_ns"], int) or args["wall_ns"] < 1:
+            fail(f"span {args['span_id']} ('{ev['name']}') has wall_ns "
+                 f"{args['wall_ns']}; 0 is the unprofiled sentinel and must "
+                 f"be omitted, measured spans are clamped to >= 1")
+        if not isinstance(args["wall_start_ns"], int) or args["wall_start_ns"] < 0:
+            fail(f"span {args['span_id']} ('{ev['name']}') has invalid "
+                 f"wall_start_ns {args['wall_start_ns']}")
+        if ev["cat"] in ("phase", "wave"):
+            fail(f"span {args['span_id']} ('{ev['name']}') is a grouping "
+                 f"'{ev['cat']}' span but carries a wall annotation")
+        annotated.append(ev)
+
+    if not annotated:
+        if require_wall:
+            fail("no wall-annotated spans (--require-wall expects a "
+                 "profiled export)")
+        return 0
+
+    if min(ev["args"]["wall_start_ns"] for ev in annotated) != 0:
+        fail("wall_start_ns values are not rebased: the earliest annotated "
+             "span must start at 0")
+
+    for ev in annotated:
+        args = ev["args"]
+        # Walk up to the nearest annotated ancestor (grouping spans in
+        # between carry no wall fields).
+        parent = args["parent"]
+        while parent != 0 and "wall_ns" not in by_id[parent]["args"]:
+            parent = by_id[parent]["args"]["parent"]
+        if parent == 0:
+            continue
+        pargs = by_id[parent]["args"]
+        lo = args["wall_start_ns"]
+        hi = lo + args["wall_ns"]
+        plo = pargs["wall_start_ns"]
+        phi = plo + pargs["wall_ns"]
+        if lo < plo - WALL_SLACK_NS or hi > phi + WALL_SLACK_NS:
+            fail(f"span {args['span_id']} ('{ev['name']}') wall interval "
+                 f"[{lo}, {hi}] ns escapes annotated ancestor {parent} "
+                 f"[{plo}, {phi}] ns")
+    return len(annotated)
 
 
 def main():
@@ -84,6 +156,9 @@ def main():
     ap.add_argument("--expect-chunks", type=int, default=None,
                     help="exact number of pipelined input-chunk transfer "
                          "spans (name contains 'xfer-in-chunk') required")
+    ap.add_argument("--require-wall", action="store_true",
+                    help="fail when the export carries no wall-clock "
+                         "annotations (expects a --profile run)")
     args = ap.parse_args()
 
     try:
@@ -129,7 +204,8 @@ def main():
     if len(complete) < args.min_spans:
         fail(f"only {len(complete)} spans, expected at least {args.min_spans}")
 
-    check_nesting(complete)
+    by_id = check_nesting(complete)
+    annotated = check_wall(complete, by_id, args.require_wall)
 
     if args.expect_chunks is not None:
         chunks = sum(1 for ev in complete
@@ -138,8 +214,8 @@ def main():
             fail(f"{chunks} pipelined input-chunk spans, "
                  f"expected exactly {args.expect_chunks}")
 
-    print(f"check_trace: OK: {len(complete)} spans across {len(tracks)} tracks "
-          f"in {args.trace}")
+    print(f"check_trace: OK: {len(complete)} spans ({annotated} wall-annotated) "
+          f"across {len(tracks)} tracks in {args.trace}")
 
 
 if __name__ == "__main__":
