@@ -21,6 +21,9 @@
 //   --lgmin=<l>    smallest size as log2(n)        (default 18)
 //   --lgmax=<l>    largest size as log2(n)         (default 24)
 //   --step=<s>     log2 stride through the sweep   (default 2)
+//   --hull-n=<n>   point count for the irregular quickhull rows
+//                  (default 65536; pick a size outside the lg sweep so the
+//                  per-size normalizer stays unambiguous; 0 disables)
 //   --out=<file>   JSON artifact path              (default BENCH_wallclock.json)
 //   --profile      after the sweep, rerun every executor at the largest
 //                  size with ExecOptions::profile on and derive the
@@ -36,6 +39,7 @@
 #include <fstream>
 #include <thread>
 
+#include "algos/quickhull.hpp"
 #include "common.hpp"
 #include "metrics/export.hpp"
 #include "metrics/profile.hpp"
@@ -62,19 +66,23 @@ struct Entry {
 };
 
 /// One timed functional run. The pool is threaded through the Hpu; alpha /
-/// y / K follow the Figure-8 recipe (model-optimal split per size).
+/// y / K follow the Figure-8 recipe (model-optimal split per size). On the
+/// irregular algorithms (quickhull below) the executors dispatch to the
+/// dynamic-tree engine and (alpha, y) are ignored — the observed-width
+/// scheduler re-splits every level.
+template <typename T>
 double timed_run(util::ThreadPool* pool, int executor, const sim::HpuParams& hw,
-                 const algos::MergesortCoalesced<std::int32_t>& alg,
-                 const std::vector<std::int32_t>& input, double alpha, std::uint64_t y,
-                 std::uint64_t chunks, trace::TraceSession* trace = nullptr) {
+                 const core::LevelAlgorithm<T>& alg, const std::vector<T>& input,
+                 double alpha, std::uint64_t y, std::uint64_t chunks,
+                 trace::TraceSession* trace = nullptr) {
     sim::Hpu h(hw, pool);
-    std::vector<std::int32_t> data = input;
+    std::vector<T> data = input;
     core::ExecOptions opts;
     opts.functional = true;
     opts.validate = false;
     opts.trace = trace;
     opts.profile = trace != nullptr;
-    std::span<std::int32_t> d(data);
+    std::span<T> d(data);
     util::Stopwatch sw;
     switch (executor) {
         case 0: core::run_sequential(h.cpu(), alg, d, opts); break;
@@ -107,7 +115,7 @@ void write_json(const std::string& path, const std::string& platform,
     }
     os << "{\n";
     os << "  \"bench\": \"wallclock\",\n";
-    os << "  \"algo\": \"mergesort_coalesced\",\n";
+    os << "  \"algo\": \"mergesort_coalesced+quickhull\",\n";
     os << "  \"platform\": \"" << platform << "\",\n";
     os << "  \"host_concurrency\": " << host_concurrency << ",\n";
     os << "  \"entries\": [\n";
@@ -167,6 +175,35 @@ int main(int argc, char** argv) {
             entries.push_back({n, kExecutors[e], 0, t0, 1.0});
             entries.push_back({n, kExecutors[e], workers, t1, speedup});
             t.add_row({static_cast<std::int64_t>(n), std::string(kExecutors[e]), t0, t1, speedup});
+        }
+    }
+
+    // Irregular rows: quickhull at its own size, distinct from the sweep
+    // sizes so the per-size sequential-inline normalizer in
+    // tools/bench_history.py stays unambiguous. Same six executors, same
+    // inline-vs-pooled comparison, same JSON artifact — bench_history and
+    // the baseline gate pick the rows up with no schema change (the
+    // baseline simply has no quickhull keys yet; bench_diff ignores
+    // current-only entries).
+    const std::uint64_t hull_n =
+        static_cast<std::uint64_t>(cli.get_int("hull-n", 1 << 16));
+    if (hull_n >= 2) {
+        util::Rng rng(bench::input_seed(cli, hull_n) ^ 0x9e3779b97f4a7c15ull);
+        std::vector<algos::Pt> pts(hull_n);
+        for (auto& p : pts) {
+            p.x = rng.uniform_int(-1000000, 1000000);
+            p.y = rng.uniform_int(-1000000, 1000000);
+        }
+        algos::Quickhull qh;
+        for (int e = 0; e < 6; ++e) {
+            const double t0 =
+                timed_run(&inline_pool, e, spec.params, qh, pts, 0.3, 2, chunks);
+            const double t1 = timed_run(&pool, e, spec.params, qh, pts, 0.3, 2, chunks);
+            const double speedup = t1 > 0.0 ? t0 / t1 : 1.0;
+            entries.push_back({hull_n, kExecutors[e], 0, t0, 1.0});
+            entries.push_back({hull_n, kExecutors[e], workers, t1, speedup});
+            t.add_row({static_cast<std::int64_t>(hull_n),
+                       "qh:" + std::string(kExecutors[e]), t0, t1, speedup});
         }
     }
 

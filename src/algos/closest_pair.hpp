@@ -1,0 +1,206 @@
+// Closest pair of points as an IrregularLevelAlgorithm: uneven strip
+// recursion. root_tasks x-sorts the input once; divide splits each extent
+// ceil/floor (so non-power-of-two sizes stay admissible and the tree is
+// uneven), and extents of size <= 3 are solved directly in the divide sweep
+// — early termination at varying depths. The combine sweep walks the tree
+// bottom-up: it merges the two y-sorted halves (so every extent leaves its
+// combine y-sorted, the invariant its parent relies on) and then runs the
+// classic strip scan — candidates within sqrt(d) of the split line, each
+// compared against at most the next 7 strip points in y order.
+//
+// Per-extent state: the best squared distance is keyed by extent begin
+// (the leftmost-spine aliasing is benign — the slot always holds the most
+// recently combined result for the node starting there, exactly what the
+// parent reads); the split x is keyed by the split index, which is strictly
+// interior to the extent and therefore unique across the whole tree. The
+// y-sort of a leaf mutates only its own extent, and extents of concurrent
+// tasks are disjoint, so pooled and inline execution are byte-identical.
+//
+// Output convention: finalize stores Pt{closest squared distance, 0} at
+// data[0]; the rest of the array is the y-sorted point set.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "algos/geometry.hpp"
+#include "core/level_algorithm.hpp"
+#include "util/check.hpp"
+#include "verify/footprint.hpp"
+
+namespace hpu::algos {
+
+class ClosestPair : public core::IrregularLevelAlgorithm<Pt> {
+public:
+    std::string name() const override { return "closest-pair"; }
+    std::uint64_t a() const override { return 2; }
+    std::uint64_t b() const override { return 2; }
+
+    model::Recurrence recurrence() const override {
+        model::Recurrence r;
+        r.a = 2.0;
+        r.b = 2.0;
+        // Linear merge + strip scan per level.
+        r.f = [](double m) { return 3.0 * m; };
+        r.leaf_cost = 1.0;
+        return r;
+    }
+
+    /// Any pair-bearing size — the ceil/floor split handles every n.
+    bool admissible(std::uint64_t n) const override { return n >= 2; }
+
+    void prepare(std::uint64_t n) const override {
+        n_ = n;
+        dist_.assign(n, std::numeric_limits<std::uint64_t>::max());
+        splitx_.assign(n, 0);
+        scratch_.resize(n);
+    }
+
+    core::TaskList root_tasks(std::span<Pt> data, sim::OpCounter& ops) const override {
+        const std::uint64_t n = data.size();
+        HPU_CHECK(n_ == n, "prepare() was not called with this input size");
+        // One global x-sort; every divide below reads its split point from
+        // the still-x-sorted prefix of the tree.
+        std::sort(data.begin(), data.end());
+        const std::uint64_t logn = n < 2 ? 1 : 64 - static_cast<std::uint64_t>(
+                                                     __builtin_clzll(n - 1));
+        ops.charge_compute(n * logn);
+        ops.charge_mem(2 * n, sim::Pattern::kStrided);
+        core::TaskList roots;
+        roots.tasks.push_back(core::TaskDesc{0, n, 0});
+        return roots;
+    }
+
+    void divide_task(std::span<Pt> data, const core::TaskDesc& t, std::uint64_t /*level*/,
+                     std::vector<core::TaskDesc>& children,
+                     sim::OpCounter& ops) const override {
+        const std::uint64_t b = t.begin, e = t.end, m = t.size();
+        if (m <= 3) {
+            // Leaf: solve directly and leave the extent y-sorted, the
+            // invariant every combine above this point expects.
+            std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+            for (std::uint64_t i = b; i < e; ++i) {
+                for (std::uint64_t j = i + 1; j < e; ++j) {
+                    best = std::min(best, dist2(data[i], data[j]));
+                }
+            }
+            dist_[b] = best;
+            std::sort(data.begin() + static_cast<std::ptrdiff_t>(b),
+                      data.begin() + static_cast<std::ptrdiff_t>(e),
+                      [](const Pt& p, const Pt& q) {
+                          return p.y != q.y ? p.y < q.y : p.x < q.x;
+                      });
+            ops.charge_compute(3 * m);
+            ops.charge_mem(2 * m, sim::Pattern::kStrided);
+            ops.log_read(b, m);
+            ops.log_write(b, m);
+            ops.log_write(verify::kScratchRegionBase + b, 1);  // dist_[b]
+            return;  // no children: early termination at this depth
+        }
+        // Uneven ceil/floor split; the extent is still x-sorted here (only
+        // leaves mutate, and leaves are never ancestors of a dividing task).
+        // The split line is keyed by `mid`, not `begin`: a node and its left
+        // child share a begin (the leftmost spine), but mid is strictly
+        // interior to the extent, hence unique across the whole tree.
+        const std::uint64_t mid = b + (m + 1) / 2;
+        splitx_[mid] = data[mid].x;
+        children.push_back(core::TaskDesc{b, mid, 0});
+        children.push_back(core::TaskDesc{mid, e, 0});
+        ops.charge_compute(2);
+        ops.log_read(mid, 1);
+        ops.log_write(verify::kScratchRegionBase + mid, 1);  // splitx_[mid]
+    }
+
+    void combine_task(std::span<Pt> data, const core::TaskDesc& t, std::uint64_t /*level*/,
+                      std::span<const core::TaskDesc> children,
+                      sim::OpCounter& ops) const override {
+        if (children.empty()) {
+            // Leaf already solved in the divide sweep.
+            ops.charge_compute(1);
+            return;
+        }
+        const std::uint64_t b = t.begin, e = t.end, m = t.size();
+        const std::uint64_t mid = children[1].begin;
+        std::uint64_t d = std::min(dist_[b], dist_[mid]);
+        // Merge the two y-sorted halves through scratch, then copy back so
+        // this extent is y-sorted for its parent.
+        Pt* tmp = scratch_.data() + b;
+        std::uint64_t i = b, j = mid, w = 0;
+        const auto yless = [](const Pt& p, const Pt& q) {
+            return p.y != q.y ? p.y < q.y : p.x < q.x;
+        };
+        while (i < mid && j < e) {
+            tmp[w++] = yless(data[j], data[i]) ? data[j++] : data[i++];
+        }
+        while (i < mid) tmp[w++] = data[i++];
+        while (j < e) tmp[w++] = data[j++];
+        for (std::uint64_t k = 0; k < m; ++k) data[b + k] = tmp[k];
+        // Strip scan: y-ordered candidates near the split line, each against
+        // at most the next 7 strip points.
+        const std::int64_t sx = splitx_[mid];
+        std::vector<Pt> strip;
+        for (std::uint64_t k = b; k < e; ++k) {
+            const i128 dx = data[k].x - sx;
+            if (dx * dx < static_cast<i128>(d)) strip.push_back(data[k]);
+        }
+        for (std::uint64_t p = 0; p < strip.size(); ++p) {
+            for (std::uint64_t q = p + 1; q < strip.size(); ++q) {
+                const i128 dy = strip[q].y - strip[p].y;
+                if (dy * dy >= static_cast<i128>(d)) break;
+                d = std::min(d, dist2(strip[p], strip[q]));
+            }
+        }
+        dist_[b] = d;
+        ops.charge_compute(3 * m);
+        ops.charge_mem(3 * m, sim::Pattern::kStrided);
+        ops.log_read(b, m);
+        ops.log_write(b, m);
+        ops.log_read(verify::kScratchRegionBase + b, 1);
+        ops.log_read(verify::kScratchRegionBase + mid, 1);
+        ops.log_write(verify::kScratchRegionBase + b, 1);
+    }
+
+    void finalize(std::span<Pt> data, sim::OpCounter& ops) const override {
+        data[0] = Pt{static_cast<std::int64_t>(dist_[0]), 0};
+        ops.charge_compute(1);
+        ops.charge_mem(1, sim::Pattern::kCoalesced);
+    }
+
+    double task_cost_estimate(const core::TaskDesc& t, bool combine) const override {
+        const auto m = static_cast<double>(std::max<std::uint64_t>(t.size(), 1));
+        return combine ? 3.0 * m : m;
+    }
+
+    /// Exact width schedule of the ceil/floor tree for size n — the
+    /// analytic path prices the same uneven shape the functional path runs.
+    std::vector<std::uint64_t> analytic_widths(std::uint64_t n) const override {
+        std::vector<std::uint64_t> widths{1};
+        std::vector<std::uint64_t> sizes{n};
+        while (true) {
+            std::vector<std::uint64_t> next;
+            for (const std::uint64_t s : sizes) {
+                if (s <= 3) continue;
+                next.push_back((s + 1) / 2);
+                next.push_back(s - (s + 1) / 2);
+            }
+            if (next.empty()) break;
+            widths.push_back(next.size());
+            sizes = std::move(next);
+        }
+        return widths;
+    }
+
+    /// Squared distance of the closest pair after finalize.
+    std::uint64_t best_dist2() const { return dist_[0]; }
+
+protected:
+    mutable std::uint64_t n_ = 0;
+    mutable std::vector<std::uint64_t> dist_;    ///< best d², keyed by extent begin
+    mutable std::vector<std::int64_t> splitx_;   ///< split x, keyed by split index
+    mutable std::vector<Pt> scratch_;            ///< y-merge staging
+};
+
+}  // namespace hpu::algos

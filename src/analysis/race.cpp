@@ -1,9 +1,11 @@
 #include "analysis/race.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
+#include <vector>
 
 namespace hpu::analysis {
 
@@ -117,6 +119,56 @@ void detect_races(std::span<const sim::ItemAccessLog> items, std::uint64_t wave_
                     chk.emit(FindingKind::kReadWriteRace, it->second, j, addr);
                 }
             }
+        }
+    }
+}
+
+void detect_extent_overlaps(std::span<const Extent> extents, std::string_view launch_label,
+                            AnalysisReport& report, const RaceOptions& opts) {
+    // Sort the non-empty extents by begin; any overlap then shows up
+    // between a task and the previous maximum end.
+    std::vector<std::uint32_t> order;
+    order.reserve(extents.size());
+    for (std::uint32_t j = 0; j < extents.size(); ++j) {
+        if (extents[j].end > extents[j].begin) order.push_back(j);
+    }
+    std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+        if (extents[a].begin != extents[b].begin) {
+            return extents[a].begin < extents[b].begin;
+        }
+        return a < b;
+    });
+    std::uint64_t emitted = 0;
+    std::uint64_t open_end = 0;
+    std::uint32_t open_task = 0;
+    bool have_open = false;
+    for (const std::uint32_t j : order) {
+        const Extent& e = extents[j];
+        if (have_open && e.begin < open_end) {
+            if (emitted >= opts.max_findings) {
+                ++report.findings_suppressed;
+            } else {
+                ++emitted;
+                Finding f;
+                f.kind = FindingKind::kExtentOverlap;
+                f.severity = Severity::kError;
+                f.launch = std::string(launch_label);
+                f.item_a = open_task;
+                f.item_b = j;
+                f.address = e.begin;
+                std::ostringstream os;
+                os << "tasks " << open_task << " and " << j
+                   << " declare overlapping extents ([" << extents[open_task].begin << ", "
+                   << extents[open_task].end << ") vs [" << e.begin << ", " << e.end
+                   << ")) — dynamic tasks of one level must own disjoint words";
+                f.detail = os.str();
+                report.add(std::move(f));
+            }
+        }
+        if (!have_open || e.end > open_end) {
+            open_end = e.end;
+            open_task = j;
+            have_open = true;
         }
     }
 }

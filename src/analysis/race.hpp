@@ -41,4 +41,23 @@ void detect_races(std::span<const sim::ItemAccessLog> items, std::uint64_t wave_
                   std::string_view launch_label, AnalysisReport& report,
                   const RaceOptions& opts = {});
 
+/// Contiguous word extent [begin, end) a dynamic task declares as its own
+/// (irregular trees — see core/task_list.hpp; this layer keeps its own
+/// plain struct so analysis stays below core in the dependency order).
+struct Extent {
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+};
+
+/// Declared-extent disjointness over a dynamic task list: non-empty
+/// extents of one level must be pairwise disjoint, or the level's tasks
+/// cannot be independent. O(W log W) over the declarations — the cheap
+/// first line before detect_races concretizes the logged accesses behind
+/// them (a task that *lies* about its extent is still caught by the exact
+/// detector). Each overlap is a kExtentOverlap error finding; at most
+/// `opts.max_findings` are materialized, the rest tallied in
+/// AnalysisReport::findings_suppressed.
+void detect_extent_overlaps(std::span<const Extent> extents, std::string_view launch_label,
+                            AnalysisReport& report, const RaceOptions& opts = {});
+
 }  // namespace hpu::analysis

@@ -18,6 +18,7 @@ const char* to_string(FindingKind k) noexcept {
         case FindingKind::kInFlightRead: return "in-flight-read";
         case FindingKind::kFootprintViolation: return "footprint-violation";
         case FindingKind::kLaunchSkipped: return "launch-skipped";
+        case FindingKind::kExtentOverlap: return "extent-overlap";
     }
     return "unknown";
 }

@@ -28,6 +28,7 @@ enum class FindingKind : std::uint8_t {
     kInFlightRead,  ///< kernel touched a streamed chunk before it arrived
     kFootprintViolation,  ///< runtime access outside the declared footprint
     kLaunchSkipped,  ///< budget-capped launch surfaced via fail_on_skip
+    kExtentOverlap,  ///< two dynamic tasks of one level declare overlapping extents
 };
 
 const char* to_string(FindingKind k) noexcept;

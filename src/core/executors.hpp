@@ -135,7 +135,29 @@ struct ExecReport {
     /// Observation over this run (attempted=false unless ExecOptions::
     /// observe was on and a trace session was attached).
     obs::ObsReport obs;
+    /// Total tasks of the dynamic expand sweep, empty branches included
+    /// (irregular algorithms only; stays 0 on every regular path, which
+    /// keeps regular reports bit-identical to the pre-irregular build).
+    std::uint64_t tasks_spawned = 0;
 };
+
+/// Which scheduler shape core/irregular.hpp emulates for a dynamic task
+/// tree. Each of the six public executors maps onto one of these when
+/// handed an IrregularLevelAlgorithm.
+enum class IrregularMode : std::uint8_t {
+    kSequential,  ///< 1 core, no device
+    kMulticore,   ///< p cores, no device
+    kGpu,         ///< device only (optional boundary transfers)
+    kBasic,       ///< whole-level placement, observed-cost crossover
+    kAdvanced,    ///< per-level α split re-balanced from observed widths
+    kPipelined,   ///< advanced + chunked GPU input transfers
+};
+
+template <typename T>
+ExecReport run_irregular(sim::CpuUnit& cpu, sim::Device* dev, const sim::HpuParams& hw,
+                         const IrregularLevelAlgorithm<T>& alg, std::span<T> data,
+                         IrregularMode mode, const ExecOptions& opts, std::uint64_t chunks,
+                         bool include_transfers, const char* executor_label);
 
 namespace detail {
 
@@ -641,6 +663,17 @@ inline trace::SpanId open_phase(const ExecOptions& opts, trace::SpanId run,
 template <typename T>
 ExecReport run_sequential(sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg, std::span<T> data,
                           const ExecOptions& opts = {}) {
+    if (const auto* irr = alg.as_irregular()) {
+        sim::CpuParams one_core = cpu.params();
+        one_core.p = 1;
+        one_core.contention = 0.0;
+        sim::CpuUnit single(one_core, cpu.pool());
+        sim::HpuParams hw;
+        hw.cpu = one_core;
+        return run_irregular(single, static_cast<sim::Device*>(nullptr), hw, *irr, data,
+                             IrregularMode::kSequential, opts, /*chunks=*/0,
+                             /*include_transfers=*/false, "sequential");
+    }
     const std::uint64_t L = detail::level_count(alg, data.size());
     alg.prepare(data.size());
     sim::CpuParams one_core = cpu.params();
@@ -684,6 +717,13 @@ ExecReport run_sequential(sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg, std::
 template <typename T>
 ExecReport run_multicore(sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg, std::span<T> data,
                          const ExecOptions& opts = {}) {
+    if (const auto* irr = alg.as_irregular()) {
+        sim::HpuParams hw;
+        hw.cpu = cpu.params();
+        return run_irregular(cpu, static_cast<sim::Device*>(nullptr), hw, *irr, data,
+                             IrregularMode::kMulticore, opts, /*chunks=*/0,
+                             /*include_transfers=*/false, "multicore");
+    }
     const std::uint64_t L = detail::level_count(alg, data.size());
     alg.prepare(data.size());
     ExecReport rep;
@@ -719,6 +759,11 @@ ExecReport run_multicore(sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg, std::s
 template <typename T>
 ExecReport run_gpu(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std::span<T> data,
                    const ExecOptions& opts = {}, bool include_transfers = true) {
+    if (const auto* irr = alg.as_irregular()) {
+        return run_irregular(hpu.cpu(), &hpu.gpu(), hpu.params(), *irr, data,
+                             IrregularMode::kGpu, opts, /*chunks=*/0, include_transfers,
+                             "gpu");
+    }
     const std::uint64_t L = detail::level_count(alg, data.size());
     alg.prepare(data.size());
     sim::Device& dev = hpu.gpu();
@@ -836,3 +881,9 @@ ExecReport run_gpu(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std::span<T> dat
 }
 
 }  // namespace hpu::core
+
+// The dynamic-tree engine is a separate header for readability, but it needs
+// the detail helpers above and the executors need its run_irregular — so it
+// is textually part of this header (include-at-bottom; it has no own guard
+// loop because both files are #pragma once).
+#include "core/irregular.hpp"  // IWYU pragma: keep

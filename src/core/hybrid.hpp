@@ -123,6 +123,11 @@ inline void trace_pre_span(trace::TraceSession* session, trace::SpanId run,
 template <typename T>
 ExecReport run_basic_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std::span<T> data,
                             const ExecOptions& opts = {}) {
+    if (const auto* irr = alg.as_irregular()) {
+        return run_irregular(hpu.cpu(), &hpu.gpu(), hpu.params(), *irr, data,
+                             IrregularMode::kBasic, opts, /*chunks=*/0,
+                             /*include_transfers=*/true, "basic-hybrid");
+    }
     const auto shape = detail::shape_of(alg, data.size());
     alg.prepare(data.size());
     const auto& hw = hpu.params();
@@ -277,6 +282,15 @@ template <typename T>
 ExecReport run_advanced_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std::span<T> data,
                                double alpha, std::uint64_t y,
                                const AdvancedOptions& adv = {}) {
+    // Dynamic trees re-balance α per level from the observed task list, so
+    // the caller's (α, y) plan — derived from the regular a^i shape — does
+    // not apply and is ignored (ExecReport::alpha_effective reports what the
+    // observed split actually chose).
+    if (const auto* irr = alg.as_irregular()) {
+        return run_irregular(hpu.cpu(), &hpu.gpu(), hpu.params(), *irr, data,
+                             IrregularMode::kAdvanced, adv.exec, /*chunks=*/0,
+                             /*include_transfers=*/true, "advanced-hybrid");
+    }
     HPU_CHECK(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
     const auto shape = detail::shape_of(alg, data.size());
     alg.prepare(data.size());

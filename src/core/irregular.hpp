@@ -1,0 +1,555 @@
+// The irregular-tree engine: executes an IrregularLevelAlgorithm whose
+// recursion tree is produced dynamically — variable arity, uneven extents,
+// empty branches, early termination — on every scheduler shape of the
+// framework (IrregularMode). The six public executors dispatch here when
+// handed an irregular algorithm; regular algorithms never reach this file,
+// which keeps the regular paths bit-identical to the pre-irregular build.
+//
+// Two sweeps, mirroring the breadth-first translation (Alg. 2):
+//
+//   expand  — top-down: run every task's divide_task; the concatenated
+//             children (in task order) become the next level's list; an
+//             empty frontier ends the sweep.
+//   combine — bottom-up over the recorded levels: run every task's
+//             combine_task with its recorded children (empty span = leaf).
+//             Skipped when has_combine() is false.
+//
+// Scheduling: the closed-form (α, y) plans of §5 assume level i has a^i
+// equal tasks, which a dynamic tree does not honor. The hybrid modes
+// therefore re-derive the split PER LEVEL from the observed task list
+// (model/observed.hpp): kAdvanced/kPipelined choose the prefix k that
+// minimizes the estimated level makespan (the per-level α re-balance),
+// kBasic places whole levels on the cheaper unit including the residency
+// switch transfer. Decisions are pure functions of (hardware, per-task
+// estimates), so pooled and inline runs schedule — and therefore time —
+// identically.
+//
+// Correctness machinery on the dynamic path:
+//  - verify: static race-freedom proofs need static footprints, which a
+//    data-dependent tree cannot declare. ExecOptions::verify attaches
+//    verify_irregular_run's downgrade certificate (all phases kUnknown +
+//    a kDynamicFootprint finding), which keeps the exact runtime checks on.
+//  - validate: per dynamic level, declared extents are checked pairwise
+//    disjoint (analysis::detect_extent_overlaps) and the logged accesses
+//    of ALL the level's tasks go through the exact race detector with the
+//    full width as the concurrency window (CPU and GPU parts of a split
+//    level overlap in virtual time). The schedule-independence re-run and
+//    the residency lint of the regular path do not apply here (divide
+//    bodies mutate the frontier; there is no device buffer object).
+//  - trace: run → phase(expand/combine) → level(+waves) spans; level
+//    spans carry the level's extent_words and imbalance attributes.
+//  - obs: skipped — the observation's drift model assumes the regular
+//    recurrence shape; ExecReport::obs stays attempted=false.
+//
+// Functional execution happens in host memory (like every functional path
+// of the simulator); transfer time is charged per the mode: kGpu ships the
+// array across the boundary once each way, kBasic pays residency switches,
+// kAdvanced/kPipelined ship each level's GPU part in and out (kPipelined
+// chunks the input transfer and overlaps it with the chunk kernels).
+//
+// Analytic mode prices the tree from analytic_widths(n) — task bodies do
+// not run (root_tasks/finalize included), data is untouched.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/executors.hpp"
+#include "model/observed.hpp"
+
+namespace hpu::core {
+namespace irr_detail {
+
+/// One recorded level of the expand sweep: its task list plus, per task,
+/// the offset of its children in the NEXT level's list (prefix sums,
+/// child_off.size() == width + 1).
+struct LevelRecord {
+    TaskList list;
+    std::vector<std::uint64_t> child_off;
+};
+
+inline double est_sum(const std::vector<model::ObservedTask>& est, std::uint64_t b,
+                      std::uint64_t e) {
+    double s = 0.0;
+    for (std::uint64_t j = b; j < e; ++j) s += est[j].cost;
+    return s;
+}
+
+inline std::uint64_t est_words(const std::vector<model::ObservedTask>& est, std::uint64_t b,
+                               std::uint64_t e) {
+    std::uint64_t w = 0;
+    for (std::uint64_t j = b; j < e; ++j) w += est[j].words;
+    return w;
+}
+
+/// How one dynamic level is scheduled: the prefix [0, k) runs on the CPU,
+/// [k, W) on the device. kBasic may pay a residency-switch transfer up
+/// front; kAdvanced/kPipelined ship the GPU part in and out every level.
+struct LevelPlan {
+    std::uint64_t k = 0;
+    sim::Ticks switch_xfer = 0.0;
+    std::uint64_t switch_words = 0;
+    const char* switch_dir = nullptr;  ///< "xfer-in" / "xfer-out" (kBasic)
+    bool per_level_xfers = false;
+};
+
+}  // namespace irr_detail
+
+template <typename T>
+ExecReport run_irregular(sim::CpuUnit& cpu, sim::Device* dev, const sim::HpuParams& hw,
+                         const IrregularLevelAlgorithm<T>& alg, std::span<T> data,
+                         IrregularMode mode, const ExecOptions& opts, std::uint64_t chunks,
+                         bool include_transfers, const char* executor_label) {
+    const std::uint64_t n = data.size();
+    HPU_CHECK(alg.admissible(n), "input size not admissible for this algorithm");
+    const bool cpu_only =
+        mode == IrregularMode::kSequential || mode == IrregularMode::kMulticore;
+    HPU_CHECK(cpu_only || dev != nullptr, "gpu/hybrid irregular modes need a device");
+    alg.prepare(n);
+
+    ExecReport rep;
+    rep.trace = opts.trace;
+    if (opts.verify) {
+        rep.verify = verify::verify_irregular_run(alg.name(), executor_label, n);
+    }
+    const detail::ValCtx val = detail::validation_ctx(opts, rep);
+    const trace::SpanId run = detail::open_run(opts, alg.name(), executor_label, n);
+    const detail::SpanCtx rt{opts.trace, run, 0.0, trace::SpanAttrs::kNoLevel, opts.profile};
+
+    const double mult = cpu_only ? 1.0 : alg.device_ops_multiplier(hw.gpu);
+    const std::uint64_t k_chunks =
+        mode == IrregularMode::kPipelined ? std::max<std::uint64_t>(chunks, 1) : 1;
+    const bool hybrid = mode == IrregularMode::kBasic || mode == IrregularMode::kAdvanced ||
+                        mode == IrregularMode::kPipelined;
+
+    sim::Ticks clock = 0.0;
+    double cpu_est_work = 0.0, total_est_work = 0.0;
+    bool on_device = false;  ///< where the frontier lives (kBasic residency)
+
+    // Mode policy for one level, from the per-task estimates alone.
+    auto plan_level = [&](const std::vector<model::ObservedTask>& est) {
+        irr_detail::LevelPlan plan;
+        const std::uint64_t width = est.size();
+        switch (mode) {
+            case IrregularMode::kSequential:
+            case IrregularMode::kMulticore: plan.k = width; break;
+            case IrregularMode::kGpu: plan.k = 0; break;
+            case IrregularMode::kBasic: {
+                const std::uint64_t fw = irr_detail::est_words(est, 0, width);
+                const sim::Ticks sw = hw.link.transfer_time(fw);
+                const auto pl = model::place_observed_level(hw, est, mult,
+                                                            on_device ? sw : 0.0,
+                                                            on_device ? 0.0 : sw);
+                if (pl.unit == model::LevelPlacement::kCpu) {
+                    plan.k = width;
+                    if (on_device) {
+                        plan.switch_xfer = sw;
+                        plan.switch_words = fw;
+                        plan.switch_dir = "xfer-out";
+                        on_device = false;
+                    }
+                } else {
+                    plan.k = 0;
+                    if (!on_device) {
+                        plan.switch_xfer = sw;
+                        plan.switch_words = fw;
+                        plan.switch_dir = "xfer-in";
+                        on_device = true;
+                    }
+                }
+                break;
+            }
+            case IrregularMode::kAdvanced:
+            case IrregularMode::kPipelined: {
+                const auto sp = model::split_observed_level(hw, est, mult,
+                                                            /*include_transfers=*/true);
+                plan.k = sp.cpu_tasks;
+                plan.per_level_xfers = true;
+                break;
+            }
+        }
+        cpu_est_work += irr_detail::est_sum(est, 0, plan.k);
+        total_est_work += irr_detail::est_sum(est, 0, width);
+        return plan;
+    };
+
+    // Runs the CPU part [0, k) of one level (functional); returns its time.
+    auto run_cpu_part = [&](const irr_detail::LevelPlan& plan,
+                            const std::vector<model::ObservedTask>& est, std::uint64_t depth,
+                            trace::SpanId phase_span, sim::Ticks level_start, double imb,
+                            std::vector<sim::ItemAccessLog>& logs, auto&& body) {
+        const detail::SpanCtx tc{opts.trace, phase_span, level_start, depth, opts.profile};
+        const std::uint64_t w0 = tc.wall_start();
+        const std::uint64_t cpu_words = irr_detail::est_words(est, 0, plan.k);
+        const sim::LevelResult r = cpu.run_level(
+            plan.k,
+            [&](std::uint64_t j, sim::OpCounter& ops) {
+                if (!logs.empty()) ops.trace = &logs[j];
+                body(j, ops);
+            },
+            alg.level_working_set_bytes(cpu_words), opts.order);
+        rep.cpu_busy += r.time;
+        ++rep.levels_cpu;
+        if (tc.on()) {
+            const trace::SpanId id =
+                detail::trace_cpu_level(tc, alg.name(), "cpu-level", r, trace::SpanKind::kLevel);
+            trace::SpanAttrs a;
+            a.extent_words = cpu_words;
+            a.imbalance = imb;
+            tc.session->annotate(id, a);
+            detail::annotate_wall(tc, id, w0);
+        }
+        return r.time;
+    };
+
+    // Runs the GPU part [k, W) of one level (functional), optionally as
+    // k_chunks pipelined chunks; returns the GPU path length relative to
+    // the level start (transfers included when the plan ships per level).
+    auto run_gpu_part = [&](const irr_detail::LevelPlan& plan,
+                            const std::vector<model::ObservedTask>& est, std::uint64_t depth,
+                            trace::SpanId phase_span, sim::Ticks level_start, double imb,
+                            std::vector<sim::ItemAccessLog>& logs, auto&& body) {
+        const std::uint64_t width = est.size();
+        const std::uint64_t gw = width - plan.k;
+        const std::uint64_t K = mode == IrregularMode::kPipelined ? std::min(k_chunks, gw) : 1;
+        sim::Ticks arrive = 0.0;   // input-transfer front, relative to level start
+        sim::Ticks gpu_end = 0.0;  // device busy front, relative to level start
+        for (std::uint64_t c = 0; c < K; ++c) {
+            const std::uint64_t cb = plan.k + (c * gw) / K;
+            const std::uint64_t ce = plan.k + ((c + 1) * gw) / K;
+            if (ce == cb) continue;
+            const std::uint64_t cw = irr_detail::est_words(est, cb, ce);
+            if (plan.per_level_xfers) {
+                const sim::Ticks x = hw.link.transfer_time(cw);
+                detail::trace_transfer(
+                    detail::SpanCtx{opts.trace, phase_span, level_start + arrive, depth,
+                                    opts.profile},
+                    alg.name(), "xfer-in", cw, cw * sizeof(T), x);
+                rep.transfer += x;
+                arrive += x;
+            }
+            const sim::Ticks start = std::max(arrive, gpu_end);
+            const detail::SpanCtx tg{opts.trace, phase_span, level_start + start, depth,
+                                     opts.profile};
+            const std::uint64_t w0 = tg.wall_start();
+            std::vector<sim::WaveTrace> waves;
+            detail::WaveTraceGuard guard(*dev, tg.on() ? &waves : nullptr);
+            const sim::LaunchResult r = dev->launch(ce - cb, [&](sim::WorkItem& wi) {
+                const std::uint64_t j = cb + wi.global_id();
+                if (!logs.empty()) wi.ops().trace = &logs[j];
+                body(j, wi.ops());
+            });
+            rep.gpu_busy += r.time;
+            gpu_end = start + r.time;
+            if (tg.on()) {
+                const trace::SpanId id = detail::trace_gpu_launch(
+                    tg, alg.name(), "gpu-level", *dev, r, ce - cb, waves,
+                    trace::SpanKind::kLevel);
+                trace::SpanAttrs a;
+                a.extent_words = cw;
+                a.imbalance = imb;
+                tg.session->annotate(id, a);
+                detail::annotate_wall(tg, id, w0);
+            }
+        }
+        ++rep.levels_gpu;
+        if (mode == IrregularMode::kPipelined) rep.chunks = std::max(rep.chunks, K);
+        if (plan.per_level_xfers) {
+            const std::uint64_t gpu_words = irr_detail::est_words(est, plan.k, width);
+            const sim::Ticks x = hw.link.transfer_time(gpu_words);
+            detail::trace_transfer(
+                detail::SpanCtx{opts.trace, phase_span, level_start + gpu_end, depth,
+                                opts.profile},
+                alg.name(), "xfer-out", gpu_words, gpu_words * sizeof(T), x);
+            rep.transfer += x;
+            gpu_end += x;
+        }
+        return gpu_end;
+    };
+
+    // Schedules + runs one functional level; advances the clock by the
+    // level makespan. `body(j, ops)` executes task j's divide/combine.
+    auto run_level_functional = [&](const TaskList& list, std::uint64_t depth,
+                                    const char* sweep, bool combine, trace::SpanId phase_span,
+                                    auto&& body) {
+        const std::uint64_t width = list.width();
+        if (width == 0) return;
+        std::vector<model::ObservedTask> est(width);
+        for (std::uint64_t j = 0; j < width; ++j) {
+            est[j] = model::ObservedTask{alg.task_cost_estimate(list.tasks[j], combine),
+                                         list.tasks[j].size()};
+        }
+        const irr_detail::LevelPlan plan = plan_level(est);
+        const std::string label = launch_label(alg.name(), sweep, width);
+        std::vector<sim::ItemAccessLog> logs;
+        if (val.on()) {
+            std::vector<analysis::Extent> ex;
+            ex.reserve(width);
+            for (const TaskDesc& t : list.tasks) ex.push_back({t.begin, t.end});
+            analysis::detect_extent_overlaps(ex, label, *val.report, val.race);
+            logs.resize(width);
+        }
+        const double imb = list.imbalance();
+        if (plan.switch_xfer > 0.0) {
+            detail::trace_transfer(
+                detail::SpanCtx{opts.trace, phase_span, clock, depth, opts.profile},
+                alg.name(), plan.switch_dir, plan.switch_words,
+                plan.switch_words * sizeof(T), plan.switch_xfer);
+            rep.transfer += plan.switch_xfer;
+            clock += plan.switch_xfer;
+        }
+        const sim::Ticks level_start = clock;
+        sim::Ticks cpu_time = 0.0, gpu_path = 0.0;
+        if (plan.k > 0) {
+            cpu_time = run_cpu_part(plan, est, depth, phase_span, level_start, imb, logs,
+                                    body);
+        }
+        if (width > plan.k) {
+            gpu_path = run_gpu_part(plan, est, depth, phase_span, level_start, imb, logs,
+                                    body);
+        }
+        if (val.on()) {
+            // CPU and GPU parts of a split level overlap in virtual time,
+            // so the whole width is one concurrency window.
+            analysis::detect_races(logs, width, label, *val.report, val.race);
+        }
+        clock = level_start + std::max(cpu_time, gpu_path);
+    };
+
+    // Analytic twin: prices one uniform level of `width` tasks without
+    // executing anything.
+    auto run_level_analytic = [&](std::uint64_t width, std::uint64_t depth,
+                                  trace::SpanId phase_span) {
+        HPU_CHECK(width > 0, "analytic level width must be positive");
+        const double cost = alg.analytic_task_cost(n, depth);
+        const std::uint64_t per_words = n / width;
+        std::vector<model::ObservedTask> est(width, model::ObservedTask{cost, per_words});
+        const irr_detail::LevelPlan plan = plan_level(est);
+        if (plan.switch_xfer > 0.0) {
+            detail::trace_transfer(
+                detail::SpanCtx{opts.trace, phase_span, clock, depth, opts.profile},
+                alg.name(), plan.switch_dir, plan.switch_words,
+                plan.switch_words * sizeof(T), plan.switch_xfer);
+            rep.transfer += plan.switch_xfer;
+            clock += plan.switch_xfer;
+        }
+        const sim::Ticks level_start = clock;
+        sim::Ticks cpu_time = 0.0, gpu_path = 0.0;
+        if (plan.k > 0) {
+            const std::uint64_t cpu_words = plan.k * per_words;
+            cpu_time = cpu.uniform_level_time(plan.k, cost,
+                                              alg.level_working_set_bytes(cpu_words));
+            rep.cpu_busy += cpu_time;
+            ++rep.levels_cpu;
+            if (opts.trace != nullptr) {
+                const detail::SpanCtx tc{opts.trace, phase_span, level_start, depth,
+                                         opts.profile};
+                const double work = cost * static_cast<double>(plan.k);
+                const trace::SpanId id = detail::trace_analytic_level(
+                    tc, alg.name(), "cpu-level", trace::Unit::kCpu, plan.k, work, work,
+                    cpu_time, trace::SpanKind::kLevel);
+                trace::SpanAttrs a;
+                a.extent_words = cpu_words;
+                a.imbalance = 1.0;
+                opts.trace->annotate(id, a);
+            }
+        }
+        const std::uint64_t gw = width - plan.k;
+        if (gw > 0) {
+            const std::uint64_t K = mode == IrregularMode::kPipelined ? std::min(k_chunks, gw) : 1;
+            sim::Ticks arrive = 0.0, gpu_end = 0.0;
+            for (std::uint64_t c = 0; c < K; ++c) {
+                const std::uint64_t cb = plan.k + (c * gw) / K;
+                const std::uint64_t ce = plan.k + ((c + 1) * gw) / K;
+                if (ce == cb) continue;
+                const std::uint64_t cw = (ce - cb) * per_words;
+                if (plan.per_level_xfers) {
+                    const sim::Ticks x = hw.link.transfer_time(cw);
+                    detail::trace_transfer(
+                        detail::SpanCtx{opts.trace, phase_span, level_start + arrive, depth,
+                                        opts.profile},
+                        alg.name(), "xfer-in", cw, cw * sizeof(T), x);
+                    rep.transfer += x;
+                    arrive += x;
+                }
+                const sim::Ticks start = std::max(arrive, gpu_end);
+                const sim::Ticks t = dev->uniform_launch_time(ce - cb, cost * mult);
+                rep.gpu_busy += t;
+                if (opts.trace != nullptr) {
+                    const detail::SpanCtx tg{opts.trace, phase_span, level_start + start,
+                                             depth, opts.profile};
+                    const double work = cost * static_cast<double>(ce - cb);
+                    const trace::SpanId id = detail::trace_analytic_level(
+                        tg, alg.name(), "gpu-level", trace::Unit::kGpu, ce - cb, work,
+                        work * mult, t, trace::SpanKind::kLevel, hw.gpu.g);
+                    trace::SpanAttrs a;
+                    a.extent_words = cw;
+                    a.imbalance = 1.0;
+                    opts.trace->annotate(id, a);
+                }
+                gpu_end = start + t;
+            }
+            ++rep.levels_gpu;
+            if (mode == IrregularMode::kPipelined) rep.chunks = std::max(rep.chunks, K);
+            if (plan.per_level_xfers) {
+                const std::uint64_t gpu_words = gw * per_words;
+                const sim::Ticks x = hw.link.transfer_time(gpu_words);
+                detail::trace_transfer(
+                    detail::SpanCtx{opts.trace, phase_span, level_start + gpu_end, depth,
+                                    opts.profile},
+                    alg.name(), "xfer-out", gpu_words, gpu_words * sizeof(T), x);
+                rep.transfer += x;
+                gpu_end += x;
+            }
+            gpu_path = gpu_end;
+        }
+        clock = level_start + std::max(cpu_time, gpu_path);
+    };
+
+    // ---- root pass (functional only: the analytic path never touches data)
+    std::vector<irr_detail::LevelRecord> levels;
+    if (opts.functional) {
+        const std::uint64_t w0 = rt.wall_start();
+        sim::OpCounter pre;
+        TaskList root = alg.root_tasks(data, pre);
+        const sim::Ticks t = static_cast<sim::Ticks>(pre.cpu_ops()) /
+                             static_cast<double>(cpu.params().p);
+        if (rt.on() && t > 0.0) {
+            trace::SpanAttrs a;
+            a.ops = static_cast<double>(pre.cpu_ops());
+            a.work = a.ops;
+            const trace::SpanId id =
+                rt.session->record(trace::SpanKind::kHook, trace::Unit::kCpu,
+                                   phase_label(alg.name(), "pre"), clock, t, a, run);
+            detail::annotate_wall(rt, id, w0);
+        }
+        rep.cpu_busy += t;
+        clock += t;
+        levels.push_back({std::move(root), {}});
+    }
+
+    // ---- boundary ship-in (kGpu only; kBasic pays residency switches)
+    if (mode == IrregularMode::kGpu && include_transfers) {
+        const sim::Ticks x = hw.link.transfer_time(n);
+        detail::trace_transfer(rt.shifted(clock), alg.name(), "xfer-in", n, n * sizeof(T), x);
+        rep.transfer += x;
+        clock += x;
+        on_device = true;
+    }
+
+    // ---- expand sweep
+    if (opts.functional) {
+        const trace::SpanId expand =
+            detail::open_phase(opts, run, alg.name(), "expand", trace::Unit::kHost, clock);
+        std::uint64_t depth = 0;
+        while (true) {
+            HPU_CHECK(depth < alg.max_levels(n),
+                      "irregular expansion exceeded max_levels — runaway divide_task?");
+            const std::uint64_t width = levels[depth].list.width();
+            rep.tasks_spawned += width;
+            std::vector<std::vector<TaskDesc>> kids(width);
+            run_level_functional(levels[depth].list, depth, "divide", /*combine=*/false,
+                                 expand, [&](std::uint64_t j, sim::OpCounter& ops) {
+                                     alg.divide_task(data, levels[depth].list.tasks[j], depth,
+                                                     kids[j], ops);
+                                 });
+            std::vector<std::uint64_t>& off = levels[depth].child_off;
+            off.assign(width + 1, 0);
+            for (std::uint64_t j = 0; j < width; ++j) off[j + 1] = off[j] + kids[j].size();
+            TaskList next;
+            next.tasks.reserve(off[width]);
+            for (const std::vector<TaskDesc>& kv : kids) {
+                next.tasks.insert(next.tasks.end(), kv.begin(), kv.end());
+            }
+            if (next.empty()) break;
+            levels.push_back({std::move(next), {}});
+            ++depth;
+        }
+        if (opts.trace != nullptr && expand != trace::kNoSpan) opts.trace->close(expand, clock);
+    } else {
+        const std::vector<std::uint64_t> widths = alg.analytic_widths(n);
+        HPU_CHECK(!widths.empty(), "analytic_widths must describe at least one level");
+        const trace::SpanId expand =
+            detail::open_phase(opts, run, alg.name(), "expand", trace::Unit::kHost, clock);
+        for (std::uint64_t i = 0; i < widths.size(); ++i) {
+            rep.tasks_spawned += widths[i];
+            run_level_analytic(widths[i], i, expand);
+        }
+        if (opts.trace != nullptr && expand != trace::kNoSpan) opts.trace->close(expand, clock);
+
+        if (alg.has_combine()) {
+            const trace::SpanId comb = detail::open_phase(opts, run, alg.name(), "combine",
+                                                          trace::Unit::kHost, clock);
+            for (std::uint64_t i = widths.size(); i-- > 0;) run_level_analytic(widths[i], i, comb);
+            if (opts.trace != nullptr && comb != trace::kNoSpan) opts.trace->close(comb, clock);
+        }
+    }
+
+    // ---- combine sweep (functional)
+    if (opts.functional && alg.has_combine() && !levels.empty()) {
+        const trace::SpanId comb =
+            detail::open_phase(opts, run, alg.name(), "combine", trace::Unit::kHost, clock);
+        for (std::uint64_t i = levels.size(); i-- > 0;) {
+            const TaskList& list = levels[i].list;
+            const std::vector<std::uint64_t>& off = levels[i].child_off;
+            const std::vector<TaskDesc>* next =
+                (i + 1 < levels.size()) ? &levels[i + 1].list.tasks : nullptr;
+            run_level_functional(list, i, "combine", /*combine=*/true, comb,
+                                 [&](std::uint64_t j, sim::OpCounter& ops) {
+                                     std::span<const TaskDesc> ch;
+                                     if (next != nullptr && off[j + 1] > off[j]) {
+                                         ch = std::span<const TaskDesc>(
+                                             next->data() + off[j], off[j + 1] - off[j]);
+                                     }
+                                     alg.combine_task(data, list.tasks[j], i, ch, ops);
+                                 });
+        }
+        if (opts.trace != nullptr && comb != trace::kNoSpan) opts.trace->close(comb, clock);
+    }
+
+    // ---- boundary ship-out (the array must end host-resident)
+    if (on_device && include_transfers) {
+        const sim::Ticks x = hw.link.transfer_time(n);
+        detail::trace_transfer(rt.shifted(clock), alg.name(), "xfer-out", n, n * sizeof(T), x);
+        rep.transfer += x;
+        clock += x;
+        on_device = false;
+    }
+
+    // ---- finalize (functional host wrap-up)
+    if (opts.functional) {
+        const std::uint64_t w0 = rt.wall_start();
+        sim::OpCounter fin;
+        alg.finalize(data, fin);
+        const sim::Ticks t = static_cast<sim::Ticks>(fin.cpu_ops()) /
+                             static_cast<double>(cpu.params().p);
+        if (rt.on() && t > 0.0) {
+            trace::SpanAttrs a;
+            a.ops = static_cast<double>(fin.cpu_ops());
+            a.work = a.ops;
+            const trace::SpanId id =
+                rt.session->record(trace::SpanKind::kHook, trace::Unit::kCpu,
+                                   phase_label(alg.name(), "finalize"), clock, t, a, run);
+            detail::annotate_wall(rt, id, w0);
+        }
+        rep.cpu_busy += t;
+        clock += t;
+    }
+
+    if (hybrid && total_est_work > 0.0) rep.alpha_effective = cpu_est_work / total_est_work;
+    // A pipelined schedule that never shipped a GPU part degenerated to the
+    // advanced hybrid — chunks reports 1, not 0 (0 marks non-pipelined
+    // executors, matching the regular path's convention).
+    if (mode == IrregularMode::kPipelined) {
+        rep.chunks = std::max<std::uint64_t>(rep.chunks, 1);
+    }
+    rep.total = clock;
+    detail::close_run(opts, run, rep.total);
+    return rep;
+}
+
+}  // namespace hpu::core

@@ -16,13 +16,20 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <vector>
 
+#include "core/task_list.hpp"
 #include "model/recurrence.hpp"
 #include "sim/op_counter.hpp"
 #include "sim/params.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
 #include "verify/footprint.hpp"
 
 namespace hpu::core {
+
+template <typename T>
+class IrregularLevelAlgorithm;
 
 template <typename T>
 class LevelAlgorithm {
@@ -135,6 +142,34 @@ public:
         return 2 * n * sizeof(T);
     }
 
+    /// The task list of global level `level` over an input of `n`
+    /// elements. The default is the paper's regular shape — a^level equal
+    /// contiguous slices — which is exactly what the array executors
+    /// compute from offsets; they never call this hook on the regular
+    /// path, so overriding it cannot perturb a regular run (bit-identical
+    /// by construction). Irregular algorithms produce their lists
+    /// dynamically instead (IrregularLevelAlgorithm below) and the
+    /// irregular engine drives them level by level.
+    virtual TaskList level_task_list(std::uint64_t n, std::uint64_t level) const {
+        TaskList tl;
+        const std::uint64_t count = util::ipow(a(), static_cast<std::uint32_t>(level));
+        const std::uint64_t sz = count > 0 ? n / count : 0;
+        tl.tasks.reserve(count);
+        for (std::uint64_t j = 0; j < count; ++j) {
+            tl.tasks.push_back(TaskDesc{j * sz, (j + 1) * sz, 0});
+        }
+        return tl;
+    }
+
+    /// True for algorithms whose recursion tree is produced dynamically.
+    /// The executors dispatch such algorithms to the irregular engine
+    /// (core/irregular.hpp); regular algorithms never take that path.
+    virtual bool irregular() const { return false; }
+
+    /// Non-null iff irregular(): the dynamic-tree interface of this
+    /// algorithm. Virtual downcast so the dispatch needs no RTTI.
+    virtual const IrregularLevelAlgorithm<T>* as_irregular() const { return nullptr; }
+
     /// Symbolic per-task access footprint for the queried phase, in the
     /// task-local frame (word 0 = first word of task 0's slice; `j` ranges
     /// over the level's tasks). Returning a footprint lets hpu::verify
@@ -147,6 +182,96 @@ public:
         const verify::FootprintQuery& /*query*/) const {
         return std::nullopt;
     }
+};
+
+/// An algorithm whose recursion tree is produced *dynamically*: each level
+/// is a TaskList the previous level's divide work computed, with variable
+/// arity, uneven extents, empty branches, and early termination (a branch
+/// that spawns no children). The irregular engine (core/irregular.hpp)
+/// drives the tree in two sweeps, mirroring the paper's breadth-first
+/// translation (Alg. 2):
+///
+///   expand  — top-down: run every task's divide_task, collect the
+///             children it appends; the concatenated children (in task
+///             order) are the next level's list; an empty frontier ends
+///             the sweep.
+///   combine — bottom-up over the recorded levels: run every task's
+///             combine_task with the spans of its recorded children
+///             (empty span = the task was a leaf). Skipped entirely when
+///             has_combine() is false (pure partition algorithms).
+///
+/// Contract inherited from the regular framework: tasks of one level are
+/// independent — non-empty extents pairwise disjoint, logged accesses
+/// race-free (both checked under ExecOptions::validate) — and every task
+/// body is a pure function of its descriptor plus the data it owns, so
+/// pooled execution stays bit-identical to inline.
+template <typename T>
+class IrregularLevelAlgorithm : public LevelAlgorithm<T> {
+public:
+    bool irregular() const final { return true; }
+    const IrregularLevelAlgorithm<T>* as_irregular() const final { return this; }
+
+    /// Never used on the irregular path; the engine runs divide_task /
+    /// combine_task bodies instead.
+    void run_task(std::span<T> /*data*/, std::uint64_t /*count*/, std::uint64_t /*j*/,
+                  sim::OpCounter& /*ops*/) const override {
+        HPU_CHECK(false, "irregular algorithms execute via divide_task/combine_task");
+    }
+
+    /// Root frontier (level 0). Runs once on the host before any level —
+    /// the irregular analogue of before_run (and charged the same way, as
+    /// p-way parallel CPU work); may reorder `data`.
+    virtual TaskList root_tasks(std::span<T> data, sim::OpCounter& ops) const = 0;
+
+    /// Divide work of one task: partition / prepare its extent and append
+    /// the children tasks to `children` (zero children = this branch
+    /// terminates here). Runs as one CPU task or one device work-item.
+    virtual void divide_task(std::span<T> data, const TaskDesc& t, std::uint64_t level,
+                             std::vector<TaskDesc>& children, sim::OpCounter& ops) const = 0;
+
+    /// Whether the tree has a bottom-up combine sweep at all. Pure
+    /// partition algorithms (quickhull) return false and skip the sweep.
+    virtual bool has_combine() const { return true; }
+
+    /// Combine work of one task, after all its children combined.
+    /// `children` are the descriptors divide_task appended (empty = leaf).
+    virtual void combine_task(std::span<T> /*data*/, const TaskDesc& /*t*/,
+                              std::uint64_t /*level*/,
+                              std::span<const TaskDesc> /*children*/,
+                              sim::OpCounter& ops) const {
+        ops.charge_compute(1);
+    }
+
+    /// Host-side wrap-up after both sweeps (assemble the output in
+    /// `data`). Priced as p-way parallel CPU work.
+    virtual void finalize(std::span<T> /*data*/, sim::OpCounter& /*ops*/) const {}
+
+    /// Deterministic per-task cost estimate, in CPU ops, consumed by the
+    /// observed-width scheduler BEFORE the task runs (model/observed.hpp).
+    /// Must be a pure function of the descriptor (and immutable prepared
+    /// state) so pooled and inline runs split identically.
+    virtual double task_cost_estimate(const TaskDesc& t, bool /*combine*/) const {
+        return t.size() > 0 ? static_cast<double>(t.size()) : 1.0;
+    }
+
+    /// Canonical, data-independent level widths for the analytic fast
+    /// path, which prices the tree without executing task bodies (the real
+    /// widths of a data-dependent tree only exist at run time). For
+    /// algorithms whose shape depends on n alone (closest-pair, Karatsuba)
+    /// this is the exact tree; data-dependent algorithms return a modeling
+    /// choice (documented per algorithm).
+    virtual std::vector<std::uint64_t> analytic_widths(std::uint64_t n) const = 0;
+
+    /// Uniform per-task cost of one analytic level. Defaults to the
+    /// recurrence's f(n/b^level), like the regular analytic path.
+    virtual double analytic_task_cost(std::uint64_t n, std::uint64_t level) const {
+        return this->recurrence().task_cost(static_cast<double>(n),
+                                            static_cast<double>(level));
+    }
+
+    /// Safety cap on the expansion depth (a buggy divide_task that always
+    /// spawns children would otherwise never terminate).
+    virtual std::uint64_t max_levels(std::uint64_t n) const { return n + 2; }
 };
 
 }  // namespace hpu::core

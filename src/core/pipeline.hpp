@@ -71,6 +71,14 @@ template <typename T>
 ExecReport run_pipelined_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std::span<T> data,
                                 double alpha, std::uint64_t y,
                                 const PipelinedOptions& pip = {}) {
+    // As in run_advanced_hybrid, a dynamic tree ignores the caller's (α, y)
+    // plan; pip.chunks still bounds the per-level transfer chunking.
+    if (const auto* irr = alg.as_irregular()) {
+        HPU_CHECK(pip.chunks >= 1, "need at least one chunk");
+        return run_irregular(hpu.cpu(), &hpu.gpu(), hpu.params(), *irr, data,
+                             IrregularMode::kPipelined, pip.exec, pip.chunks,
+                             /*include_transfers=*/true, "pipelined-hybrid");
+    }
     HPU_CHECK(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
     HPU_CHECK(pip.chunks >= 1, "need at least one chunk");
     const auto shape = detail::shape_of(alg, data.size());

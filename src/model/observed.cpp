@@ -1,0 +1,80 @@
+#include "model/observed.hpp"
+
+#include <algorithm>
+
+namespace hpu::model {
+namespace {
+
+double cpu_makespan(double total, double max_cost, std::size_t p) {
+    return std::max(total / static_cast<double>(p), max_cost);
+}
+
+double gpu_makespan(const sim::HpuParams& hw, double total, double max_cost, double mult) {
+    const double gamma = hw.gpu.gamma;
+    const double lanes = static_cast<double>(hw.gpu.g);
+    return hw.gpu.launch_overhead +
+           std::max(total * mult / (gamma * lanes), max_cost * mult / gamma);
+}
+
+}  // namespace
+
+ObservedSplit split_observed_level(const sim::HpuParams& hw,
+                                   const std::vector<ObservedTask>& tasks,
+                                   double device_multiplier, bool include_transfers) {
+    const std::size_t w = tasks.size();
+    // Prefix cost sums / maxima and suffix cost sums / maxima / words, so
+    // every candidate split is priced in O(1).
+    std::vector<double> pre_sum(w + 1, 0.0), pre_max(w + 1, 0.0);
+    std::vector<double> suf_sum(w + 1, 0.0), suf_max(w + 1, 0.0);
+    std::vector<std::uint64_t> suf_words(w + 1, 0);
+    for (std::size_t j = 0; j < w; ++j) {
+        pre_sum[j + 1] = pre_sum[j] + tasks[j].cost;
+        pre_max[j + 1] = std::max(pre_max[j], tasks[j].cost);
+    }
+    for (std::size_t j = w; j-- > 0;) {
+        suf_sum[j] = suf_sum[j + 1] + tasks[j].cost;
+        suf_max[j] = std::max(suf_max[j + 1], tasks[j].cost);
+        suf_words[j] = suf_words[j + 1] + tasks[j].words;
+    }
+
+    ObservedSplit best;
+    bool have = false;
+    for (std::size_t k = 0; k <= w; ++k) {
+        const double cpu = k > 0 ? cpu_makespan(pre_sum[k], pre_max[k], hw.cpu.p) : 0.0;
+        double gpu = 0.0;
+        if (k < w) {
+            gpu = gpu_makespan(hw, suf_sum[k], suf_max[k], device_multiplier);
+            if (include_transfers) {
+                gpu += 2.0 * hw.link.lambda +
+                       2.0 * hw.link.delta * static_cast<double>(suf_words[k]);
+            }
+        }
+        const double makespan = std::max(cpu, gpu);
+        if (!have || makespan < std::max(best.cpu_est, best.gpu_est)) {
+            best.cpu_tasks = k;
+            best.cpu_est = cpu;
+            best.gpu_est = gpu;
+            have = true;
+        }
+    }
+    best.alpha = pre_sum[w] > 0.0 ? pre_sum[best.cpu_tasks] / pre_sum[w] : 0.0;
+    return best;
+}
+
+ObservedPlacement place_observed_level(const sim::HpuParams& hw,
+                                       const std::vector<ObservedTask>& tasks,
+                                       double device_multiplier, double cpu_extra,
+                                       double gpu_extra) {
+    double total = 0.0, max_cost = 0.0;
+    for (const ObservedTask& t : tasks) {
+        total += t.cost;
+        max_cost = std::max(max_cost, t.cost);
+    }
+    ObservedPlacement pl;
+    pl.cpu_est = cpu_makespan(total, max_cost, hw.cpu.p) + cpu_extra;
+    pl.gpu_est = gpu_makespan(hw, total, max_cost, device_multiplier) + gpu_extra;
+    pl.unit = pl.cpu_est <= pl.gpu_est ? LevelPlacement::kCpu : LevelPlacement::kGpu;
+    return pl;
+}
+
+}  // namespace hpu::model

@@ -1,0 +1,71 @@
+// Observed-width cost accounting for irregular trees (DESIGN.md §14).
+//
+// The closed-form schedules of §5 assume level i has a^i equal tasks, so
+// the CPU/GPU split α and the basic crossover level both fall out of the
+// recurrence before anything runs. An irregular tree has neither property:
+// the width and the per-task extents of level i are only known once level
+// i-1 executed. These helpers re-derive the same decisions per level from
+// the *observed* task list — width, per-task cost estimates, extent words
+// — using the same machine model (p cores; g lanes at γ ops/tick; λ + δ·w
+// link; strided multiplier) the analytic predictions price with.
+//
+// Decisions are deterministic pure functions of (hardware, estimates), so
+// pooled and inline irregular runs schedule identically (the
+// pool-determinism invariant extends to the irregular engine).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/params.hpp"
+
+namespace hpu::model {
+
+/// One observed task of a level, as the scheduler sees it before running:
+/// a cost estimate (CPU ops) and the words its extent covers (what a
+/// hybrid level exchange would ship).
+struct ObservedTask {
+    double cost = 1.0;
+    std::uint64_t words = 0;
+};
+
+/// Per-level α re-balance: the first `cpu_tasks` tasks run on the CPU, the
+/// rest on the device. `alpha` is the estimated CPU share of the level's
+/// work (the per-level analogue of the paper's α).
+struct ObservedSplit {
+    std::uint64_t cpu_tasks = 0;
+    double alpha = 0.0;
+    double cpu_est = 0.0;  ///< estimated CPU-part makespan, ticks
+    double gpu_est = 0.0;  ///< estimated GPU-part makespan incl. transfers
+};
+
+/// Chooses the prefix split k ∈ [0, width] minimizing the estimated level
+/// makespan max(cpu(k), gpu(k)):
+///   cpu(k) = max(Σ_{j<k} cost_j / p, max_{j<k} cost_j)
+///   gpu(k) = launch_overhead
+///            + max(Σ_{j≥k} cost_j · mult / (γ·g), max_{j≥k} cost_j · mult / γ)
+///            + [include_transfers] 2λ + 2δ·Σ_{j≥k} words_j
+/// Ties keep the smallest k (prefer the CPU for equal estimates, matching
+/// the paper's preference for keeping shallow work host-side).
+ObservedSplit split_observed_level(const sim::HpuParams& hw,
+                                   const std::vector<ObservedTask>& tasks,
+                                   double device_multiplier, bool include_transfers);
+
+/// Whole-level placement for the basic-style irregular schedule: the level
+/// runs entirely on one unit. `cpu_extra` / `gpu_extra` are the residency
+/// switch costs (ticks) the engine would pay to place the level on that
+/// unit given where the frontier currently lives.
+enum class LevelPlacement { kCpu, kGpu };
+
+struct ObservedPlacement {
+    LevelPlacement unit = LevelPlacement::kCpu;
+    double cpu_est = 0.0;
+    double gpu_est = 0.0;
+};
+
+ObservedPlacement place_observed_level(const sim::HpuParams& hw,
+                                       const std::vector<ObservedTask>& tasks,
+                                       double device_multiplier, double cpu_extra,
+                                       double gpu_extra);
+
+}  // namespace hpu::model

@@ -261,10 +261,11 @@ void TraceDiff::print(std::ostream& os, std::size_t top_k) const {
         if (e.side == DiffSide::kBaseOnly) name += "- ";
         if (e.side == DiffSide::kCandOnly) name += "+ ";
         name += e.label;
-        const std::string spans = std::to_string(e.base_spans) +
-                                  (e.base_spans == e.cand_spans
-                                       ? std::string()
-                                       : "/" + std::to_string(e.cand_spans));
+        std::string spans = std::to_string(e.base_spans);
+        if (e.base_spans != e.cand_spans) {
+            spans += '/';
+            spans += std::to_string(e.cand_spans);
+        }
         t.add_row({name, std::string(to_string(e.side)), level_text(e.level), spans,
                    e.base_ticks, e.cand_ticks, e.delta, e.self_delta});
     }

@@ -73,6 +73,8 @@ void write_args(std::ostream& os, const Span& s, std::uint64_t wall_epoch) {
     if (s.attrs.strided_transactions != 0) {
         os << ",\"strided_transactions\":" << s.attrs.strided_transactions;
     }
+    if (s.attrs.extent_words != 0) os << ",\"extent_words\":" << s.attrs.extent_words;
+    if (s.attrs.imbalance != 0.0) os << ",\"imbalance\":" << s.attrs.imbalance;
     os << "}";
 }
 
@@ -108,8 +110,8 @@ void export_chrome(const TraceSession& session, std::ostream& os) {
 void export_csv(const TraceSession& session, std::ostream& os) {
     const auto prec = os.precision(std::numeric_limits<double>::max_digits10);
     os << "id,parent,kind,unit,label,start,end,duration,level,tasks,items,waves,ops,"
-          "max_ops,work,bytes,coalesced_transactions,strided_transactions,wall_start_ns,"
-          "wall_ns\n";
+          "max_ops,work,bytes,coalesced_transactions,strided_transactions,extent_words,"
+          "imbalance,wall_start_ns,wall_ns\n";
     const std::uint64_t wall_epoch = wall_epoch_of(session);
     for (const Span& s : session.spans()) {
         // Labels follow the launch-label scheme (no commas/quotes), so no
@@ -120,7 +122,8 @@ void export_csv(const TraceSession& session, std::ostream& os) {
         os << ',' << s.attrs.tasks << ',' << s.attrs.items << ',' << s.attrs.waves << ','
            << s.attrs.ops << ',' << s.attrs.max_ops << ',' << s.attrs.work << ','
            << s.attrs.bytes << ','
-           << s.attrs.coalesced_transactions << ',' << s.attrs.strided_transactions << ',';
+           << s.attrs.coalesced_transactions << ',' << s.attrs.strided_transactions << ','
+           << s.attrs.extent_words << ',' << s.attrs.imbalance << ',';
         if (s.wall_ns != 0) os << (s.wall_start_ns - wall_epoch) << ',' << s.wall_ns;
         else os << "0,0";
         os << '\n';

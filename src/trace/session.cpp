@@ -65,6 +65,8 @@ void TraceSession::annotate(SpanId id, const SpanAttrs& attrs) {
         a.coalesced_transactions = attrs.coalesced_transactions;
     }
     if (attrs.strided_transactions != 0) a.strided_transactions = attrs.strided_transactions;
+    if (attrs.extent_words != 0) a.extent_words = attrs.extent_words;
+    if (attrs.imbalance != 0.0) a.imbalance = attrs.imbalance;
 }
 
 void TraceSession::annotate_wall(SpanId id, std::uint64_t wall_start_ns,

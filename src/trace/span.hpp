@@ -68,6 +68,13 @@ struct SpanAttrs {
     std::uint64_t bytes = 0;         ///< payload bytes (transfers)
     std::uint64_t coalesced_transactions = 0;  ///< memory transactions, coalesced
     std::uint64_t strided_transactions = 0;    ///< memory transactions, strided
+    /// Irregular-tree shape of a dynamic level (core/irregular.hpp): words
+    /// covered by the level part's task extents, and the level's extent
+    /// skew (max/mean non-empty task extent; 1.0 = regular, 0 = not set).
+    /// Regular executors never set these — utilization and obs reports use
+    /// them to explain uneven trees.
+    std::uint64_t extent_words = 0;
+    double imbalance = 0.0;
 };
 
 /// 1-based handle into TraceSession::spans(); 0 = "no span".

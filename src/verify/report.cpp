@@ -31,6 +31,7 @@ const char* to_string(VerifyFinding::Kind k) noexcept {
         case VerifyFinding::Kind::kPrecedenceViolation: return "precedence-violation";
         case VerifyFinding::Kind::kChunkOverlap: return "chunk-overlap";
         case VerifyFinding::Kind::kNeverWorseViolated: return "never-worse-violated";
+        case VerifyFinding::Kind::kDynamicFootprint: return "dynamic-footprint";
     }
     return "?";
 }

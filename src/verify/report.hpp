@@ -60,6 +60,7 @@ struct VerifyFinding {
         kPrecedenceViolation,  ///< use before transfer / compute after readback
         kChunkOverlap,         ///< pipelined chunks overlap in space or time
         kNeverWorseViolated,   ///< pipelined estimate not below the monolithic one
+        kDynamicFootprint,     ///< data-dependent task list: proven downgraded to checked
     };
     Kind kind = Kind::kRaceCounterexample;
     std::string detail;

@@ -444,4 +444,35 @@ VerifyReport verify_hybrid_run(const core::LevelAlgorithm<T>& alg, std::uint64_t
     return rep;
 }
 
+/// Downgrade certificate for an irregular (data-dependent) run: the task
+/// lists exist only at run time, so there is nothing the symbolic prover
+/// can quantify over — every phase is recorded kUnknown and an explicit
+/// kDynamicFootprint finding documents the proven→checked downgrade.
+/// Consequences, by construction of the runtime: VerifyReport::proven() is
+/// false for every phase, so under ExecOptions::validate the irregular
+/// engine keeps the *exact* passes on — declared-extent disjointness
+/// (analysis::detect_extent_overlaps) plus word-level race concretization
+/// over the dynamic access sets — instead of the cheaper conformance check
+/// proven regular phases earn. certified() is false: an irregular run is
+/// checked, never certified.
+inline VerifyReport verify_irregular_run(const std::string& algorithm,
+                                         const std::string& executor, std::uint64_t n) {
+    VerifyReport rep;
+    rep.attempted = true;
+    rep.algorithm = algorithm;
+    rep.executor = executor;
+    rep.n = n;
+    for (const Phase ph : {Phase::kCpuTask, Phase::kDeviceTask, Phase::kLeaf}) {
+        PhaseProof pp;
+        pp.phase = ph;
+        pp.status = ProofStatus::kUnknown;
+        rep.proofs.push_back(pp);
+    }
+    rep.findings.push_back(VerifyFinding{
+        VerifyFinding::Kind::kDynamicFootprint,
+        "task lists are data-dependent; static race-freedom proofs downgraded to runtime "
+        "checks (extent disjointness + exact race detection per dynamic level)"});
+    return rep;
+}
+
 }  // namespace hpu::verify

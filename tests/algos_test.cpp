@@ -6,8 +6,11 @@
 #include <numeric>
 
 #include "algos/binary_reduce.hpp"
+#include "algos/closest_pair.hpp"
+#include "algos/karatsuba.hpp"
 #include "algos/mergesort.hpp"
 #include "algos/parallel_merge.hpp"
+#include "algos/quickhull.hpp"
 #include "core/hybrid.hpp"
 #include "platforms/platforms.hpp"
 #include "util/rng.hpp"
@@ -202,6 +205,47 @@ TEST(BinaryReduce, ChargesMatchRecurrence) {
     EXPECT_DOUBLE_EQ(static_cast<double>(ops.cpu_ops()),
                      alg.recurrence().task_cost(4.0, 0.0));
     EXPECT_EQ(v[0], 1 + 3);  // slice-local combine: slice[0] += slice[mid]
+}
+
+// ------------------------------------------------ irregular admissibility
+
+// The irregular algorithms own their divide arithmetic (ceil/floor splits,
+// data-dependent partitions), so admissible() must not inherit the regular
+// power-of-b test: any pair-bearing n for the geometric algorithms, any
+// even buffer (two same-length operands) for Karatsuba.
+
+TEST(IrregularAdmissibility, GeometricAlgorithmsAcceptAnyPairBearingSize) {
+    Quickhull qh;
+    ClosestPair cp;
+    for (const std::uint64_t n :
+         {2ull, 3ull, 7ull, 97ull, 251ull, 300ull, 1000ull, 1024ull}) {
+        EXPECT_TRUE(qh.admissible(n)) << "quickhull n=" << n;
+        EXPECT_TRUE(cp.admissible(n)) << "closest-pair n=" << n;
+    }
+    for (const std::uint64_t n : {0ull, 1ull}) {
+        EXPECT_FALSE(qh.admissible(n)) << "quickhull n=" << n;
+        EXPECT_FALSE(cp.admissible(n)) << "closest-pair n=" << n;
+    }
+}
+
+TEST(IrregularAdmissibility, KaratsubaAcceptsAnyEvenBufferIncludingTwiceOdd) {
+    KaratsubaArray ka;
+    // 2·151 and 2·163: twice an odd prime — the ceil/floor child sizes are
+    // as uneven as they get, and still admissible.
+    for (const std::uint64_t sz : {2ull, 6ull, 302ull, 320ull, 326ull, 4096ull}) {
+        EXPECT_TRUE(ka.admissible(sz)) << "karatsuba sz=" << sz;
+    }
+    for (const std::uint64_t sz : {0ull, 1ull, 3ull, 151ull, 303ull}) {
+        EXPECT_FALSE(ka.admissible(sz)) << "karatsuba sz=" << sz;
+    }
+}
+
+TEST(IrregularAdmissibility, RegularAlgorithmsKeepThePowerOfBTest) {
+    // The base-class hook is untouched: mergesort still wants base·2^k.
+    MergesortPlain<std::int32_t> ms;
+    EXPECT_TRUE(ms.admissible(256));
+    EXPECT_FALSE(ms.admissible(300));
+    EXPECT_FALSE(ms.admissible(251));
 }
 
 }  // namespace

@@ -5,12 +5,16 @@
 // over every real algorithm × executor combination with validation on.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <complex>
 #include <cstdlib>
 #include <numeric>
 
 #include "algos/binary_reduce.hpp"
+#include "algos/closest_pair.hpp"
 #include "algos/fft.hpp"
+#include "algos/karatsuba.hpp"
+#include "algos/quickhull.hpp"
 #include "algos/mergesort.hpp"
 #include "algos/mergesort_blocked.hpp"
 #include "analysis/race.hpp"
@@ -365,6 +369,168 @@ TEST(ExecutorValidation, ValidationOffReportsNothing) {
     EXPECT_EQ(rep.analysis.launches_checked, 0u);
 }
 
+// ------------------------------------- seeded defective irregular algos
+
+/// Defect seed 3 (irregular): every divide task of the dynamically
+/// produced level folds into word 0 while its *declared extent* is a
+/// disjoint slice — the extent check passes, so only the exact per-level
+/// race detector over the logged accesses can trip. The log is honest;
+/// the declaration is not.
+class MisdeclaredIrregular final : public core::IrregularLevelAlgorithm<int> {
+public:
+    std::string name() const override { return "misdeclared-irregular"; }
+    std::uint64_t a() const override { return 2; }
+    std::uint64_t b() const override { return 2; }
+    model::Recurrence recurrence() const override { return model::sum_recurrence(4.0); }
+
+    core::TaskList root_tasks(std::span<int> data, sim::OpCounter& ops) const override {
+        const std::uint64_t n = data.size();
+        core::TaskList roots;
+        roots.tasks.push_back(core::TaskDesc{0, n / 2, 0});
+        roots.tasks.push_back(core::TaskDesc{n / 2, n, 0});
+        ops.charge_compute(1);
+        return roots;
+    }
+
+    void divide_task(std::span<int> data, const core::TaskDesc& t, std::uint64_t /*level*/,
+                     std::vector<core::TaskDesc>& /*children*/,
+                     sim::OpCounter& ops) const override {
+        data[0] += data[t.begin];  // the fold the declaration hides
+        ops.charge_compute(1);
+        ops.charge_mem(2, sim::Pattern::kStrided);
+        ops.log_read(t.begin, 1);
+        ops.log_write(0, 1);  // outside the declared extent of task 1
+    }
+
+    bool has_combine() const override { return false; }
+
+    std::vector<std::uint64_t> analytic_widths(std::uint64_t /*n*/) const override {
+        return {2};
+    }
+};
+
+/// Defect seed 4 (irregular): a quickhull whose partition loop "runs one
+/// past the end" — the off-by-one write lands in the right sibling's first
+/// word. Declared extents stay disjoint; the collision only exists in the
+/// access logs of the two concurrent divide bodies.
+class OverrunQuickhull final : public algos::Quickhull {
+public:
+    std::string name() const override { return "quickhull-overrun"; }
+
+    void divide_task(std::span<algos::Pt> data, const core::TaskDesc& t, std::uint64_t level,
+                     std::vector<core::TaskDesc>& children,
+                     sim::OpCounter& ops) const override {
+        algos::Quickhull::divide_task(data, t, level, children, ops);
+        if (t.size() >= 2 && t.end < data.size() - 1) ops.log_write(t.end, 1);
+    }
+};
+
+/// Defect seed 5 (irregular): a root frontier whose declared extents
+/// overlap by one word — the pairwise-disjointness lint must flag the
+/// task list itself, before any race materializes in the logs.
+class OverlappingExtentsIrregular final : public core::IrregularLevelAlgorithm<int> {
+public:
+    std::string name() const override { return "overlapping-extents"; }
+    std::uint64_t a() const override { return 2; }
+    std::uint64_t b() const override { return 2; }
+    model::Recurrence recurrence() const override { return model::sum_recurrence(4.0); }
+
+    core::TaskList root_tasks(std::span<int> data, sim::OpCounter& ops) const override {
+        const std::uint64_t n = data.size();
+        core::TaskList roots;
+        roots.tasks.push_back(core::TaskDesc{0, n / 2 + 1, 0});  // one word too far
+        roots.tasks.push_back(core::TaskDesc{n / 2, n, 0});
+        ops.charge_compute(1);
+        return roots;
+    }
+
+    void divide_task(std::span<int> /*data*/, const core::TaskDesc& t, std::uint64_t /*level*/,
+                     std::vector<core::TaskDesc>& /*children*/,
+                     sim::OpCounter& ops) const override {
+        ops.charge_compute(1);
+        ops.log_read(t.begin, 1);
+    }
+
+    bool has_combine() const override { return false; }
+
+    std::vector<std::uint64_t> analytic_widths(std::uint64_t /*n*/) const override {
+        return {2};
+    }
+};
+
+/// Points on a circle: both root regions of quickhull are non-empty and
+/// adjacent (no collinear band), so the level-0 divide bodies are exactly
+/// the two neighbours the overrun defect needs.
+std::vector<algos::Pt> circle_points(std::uint64_t n) {
+    std::vector<algos::Pt> pts;
+    pts.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const double th = 2.0 * 3.14159265358979323846 * static_cast<double>(i) /
+                          static_cast<double>(n);
+        pts.push_back({static_cast<std::int64_t>(1000.0 * std::cos(th)),
+                       static_cast<std::int64_t>(1000.0 * std::sin(th))});
+    }
+    return pts;
+}
+
+TEST(IrregularValidation, MisdeclaredAccessSetTripsTheExactDetector) {
+    sim::Hpu h(platforms::hpu1());
+    MisdeclaredIrregular alg;
+    std::vector<int> data(64, 1);
+    auto rep = core::run_multicore(h.cpu(), alg, std::span(data), validating());
+    EXPECT_TRUE(rep.analysis.has(FindingKind::kWriteWriteRace)) << rep.analysis.summary();
+    EXPECT_FALSE(rep.analysis.clean());
+    // No extent overlap: the *declaration* was fine, only the accesses lied.
+    EXPECT_FALSE(rep.analysis.has(FindingKind::kExtentOverlap));
+
+    data.assign(64, 1);
+    rep = core::run_gpu(h, alg, std::span(data), validating());
+    EXPECT_TRUE(rep.analysis.has(FindingKind::kWriteWriteRace)) << rep.analysis.summary();
+    EXPECT_FALSE(rep.analysis.clean());
+}
+
+TEST(IrregularValidation, OverlappingPartitionWriteSurfacesInQuickhull) {
+    sim::Hpu h(platforms::hpu1());
+    auto pts = circle_points(32);
+
+    // The honest quickhull on the same input is finding-free...
+    algos::Quickhull clean_alg;
+    clean_alg.prepare(pts.size());
+    auto data = pts;
+    auto rep = core::run_multicore(h.cpu(), clean_alg, std::span(data), validating());
+    EXPECT_TRUE(rep.analysis.findings.empty()) << rep.analysis.summary();
+    EXPECT_GT(rep.analysis.launches_checked, 0u);
+
+    // ...and the one-past-the-end partition write is a write-write race
+    // against the right sibling's own partition of the same level.
+    OverrunQuickhull bad;
+    bad.prepare(pts.size());
+    data = pts;
+    rep = core::run_multicore(h.cpu(), bad, std::span(data), validating());
+    EXPECT_TRUE(rep.analysis.has(FindingKind::kWriteWriteRace)) << rep.analysis.summary();
+    EXPECT_FALSE(rep.analysis.clean());
+}
+
+TEST(IrregularValidation, OverlappingDeclaredExtentsAreFlagged) {
+    sim::Hpu h(platforms::hpu1());
+    OverlappingExtentsIrregular alg;
+    std::vector<int> data(64, 1);
+    const auto rep = core::run_gpu(h, alg, std::span(data), validating());
+    EXPECT_TRUE(rep.analysis.has(FindingKind::kExtentOverlap)) << rep.analysis.summary();
+    EXPECT_FALSE(rep.analysis.clean());
+}
+
+TEST(IrregularValidation, ValidationOffReportsNothingOnTheIrregularPath) {
+    sim::Hpu h(platforms::hpu1());
+    MisdeclaredIrregular alg;
+    std::vector<int> data(64, 1);
+    core::ExecOptions opts;
+    opts.validate = false;
+    const auto rep = core::run_gpu(h, alg, std::span(data), opts);
+    EXPECT_TRUE(rep.analysis.findings.empty());
+    EXPECT_EQ(rep.analysis.launches_checked, 0u);
+}
+
 // --------------------------------------------- clean sweep over real algos
 
 std::vector<std::int32_t> random_input(std::uint64_t n, std::uint64_t seed) {
@@ -446,6 +612,64 @@ TEST(CleanSweep, Fft) {
     data = base;
     rep = core::run_multicore(h.cpu(), alg, std::span(data), validating());
     EXPECT_TRUE(rep.analysis.findings.empty()) << rep.analysis.summary();
+}
+
+/// One irregular algorithm through every executor with validation on: the
+/// dynamic task lists must declare disjoint extents and log race-free
+/// accesses at every level, same contract as the regular algorithms.
+template <typename T, typename Alg>
+void expect_irregular_clean_everywhere(Alg& alg, const std::vector<T>& base) {
+    sim::Hpu h(platforms::hpu1());
+    alg.prepare(base.size());
+
+    auto data = base;
+    auto rep = core::run_sequential(h.cpu(), alg, std::span(data), validating());
+    EXPECT_TRUE(rep.analysis.findings.empty()) << alg.name() << "/sequential:\n"
+                                               << rep.analysis.summary();
+    EXPECT_GT(rep.analysis.launches_checked, 0u);
+
+    data = base;
+    rep = core::run_multicore(h.cpu(), alg, std::span(data), validating());
+    EXPECT_TRUE(rep.analysis.findings.empty()) << alg.name() << "/multicore:\n"
+                                               << rep.analysis.summary();
+
+    data = base;
+    rep = core::run_gpu(h, alg, std::span(data), validating());
+    EXPECT_TRUE(rep.analysis.findings.empty()) << alg.name() << "/gpu:\n"
+                                               << rep.analysis.summary();
+
+    data = base;
+    rep = core::run_basic_hybrid(h, alg, std::span(data), validating());
+    EXPECT_TRUE(rep.analysis.findings.empty()) << alg.name() << "/basic-hybrid:\n"
+                                               << rep.analysis.summary();
+
+    data = base;
+    core::AdvancedOptions adv;
+    adv.exec = validating();
+    rep = core::run_advanced_hybrid(h, alg, std::span(data), 0.25, 3, adv);
+    EXPECT_TRUE(rep.analysis.findings.empty()) << alg.name() << "/advanced-hybrid:\n"
+                                               << rep.analysis.summary();
+}
+
+TEST(CleanSweep, IrregularQuickhull) {
+    algos::Quickhull alg;
+    expect_irregular_clean_everywhere(alg, circle_points(64));
+}
+
+TEST(CleanSweep, IrregularClosestPair) {
+    algos::ClosestPair alg;
+    util::Rng rng(21);
+    std::vector<algos::Pt> pts(150);
+    for (auto& p : pts) p = {rng.uniform_int(0, 5000), rng.uniform_int(0, 5000)};
+    expect_irregular_clean_everywhere(alg, pts);
+}
+
+TEST(CleanSweep, IrregularKaratsuba) {
+    algos::KaratsubaArray alg;
+    util::Rng rng(22);
+    std::vector<std::int64_t> coeffs(2 * 70);
+    for (auto& c : coeffs) c = rng.uniform_int(-50, 50);
+    expect_irregular_clean_everywhere(alg, coeffs);
 }
 
 TEST(CleanSweep, ValidationDoesNotPerturbResultsOrTime) {

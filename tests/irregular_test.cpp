@@ -1,0 +1,409 @@
+// Tests of the irregular-tree machinery (dynamic task lists): the TaskList
+// shape statistics, the extent-overlap detector, the observed-width
+// scheduler, and the engine itself — dispatch from all six executors,
+// span-derived task conservation, per-level α re-balance, the verify
+// downgrade certificate, and the width/imbalance trace attributes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "algos/closest_pair.hpp"
+#include "algos/karatsuba.hpp"
+#include "algos/mergesort.hpp"
+#include "algos/quickhull.hpp"
+#include "analysis/race.hpp"
+#include "core/hybrid.hpp"
+#include "core/pipeline.hpp"
+#include "model/observed.hpp"
+#include "platforms/platforms.hpp"
+#include "trace/span.hpp"
+
+namespace hpu::core {
+namespace {
+
+// ------------------------------------------------------------- task lists
+
+TEST(TaskList, ShapeStatistics) {
+    TaskList tl;
+    tl.tasks = {{0, 8, 0}, {8, 8, 0}, {8, 10, 0}, {10, 16, 0}};
+    EXPECT_EQ(tl.width(), 4u);
+    EXPECT_EQ(tl.extent_words(), 16u);  // 8 + 0 + 2 + 6
+    EXPECT_EQ(tl.empty_tasks(), 1u);
+    // max 8 over mean 16/3 of the non-empty tasks.
+    EXPECT_DOUBLE_EQ(tl.imbalance(), 8.0 * 3.0 / 16.0);
+}
+
+TEST(TaskList, DegenerateShapes) {
+    TaskList tl;
+    EXPECT_TRUE(tl.empty());
+    EXPECT_DOUBLE_EQ(tl.imbalance(), 0.0);
+    tl.tasks = {{4, 4, 0}, {9, 9, 0}};
+    EXPECT_EQ(tl.empty_tasks(), 2u);
+    EXPECT_DOUBLE_EQ(tl.imbalance(), 0.0);  // every task empty
+    tl.tasks = {{0, 4, 0}, {4, 8, 0}};
+    EXPECT_DOUBLE_EQ(tl.imbalance(), 1.0);  // perfectly regular
+}
+
+TEST(LevelAlgorithm, DefaultTaskListIsTheRegularShape) {
+    algos::MergesortPlain<std::int32_t> alg;
+    const TaskList tl = alg.level_task_list(16, 2);
+    ASSERT_EQ(tl.width(), 4u);  // a^2
+    for (std::uint64_t j = 0; j < 4; ++j) {
+        EXPECT_EQ(tl.tasks[j].begin, j * 4);
+        EXPECT_EQ(tl.tasks[j].end, (j + 1) * 4);
+    }
+    EXPECT_FALSE(alg.irregular());
+    EXPECT_EQ(alg.as_irregular(), nullptr);
+}
+
+// --------------------------------------------------------- extent overlaps
+
+TEST(ExtentOverlap, FlagsOverlapAndNamesTheItems) {
+    std::vector<analysis::Extent> ex = {{0, 8}, {6, 12}, {12, 20}};
+    analysis::AnalysisReport rep;
+    analysis::detect_extent_overlaps(ex, "unit/extents", rep);
+    ASSERT_EQ(rep.findings.size(), 1u);
+    EXPECT_EQ(rep.findings[0].kind, analysis::FindingKind::kExtentOverlap);
+    EXPECT_EQ(rep.findings[0].item_a, 0u);
+    EXPECT_EQ(rep.findings[0].item_b, 1u);
+    EXPECT_FALSE(rep.clean());
+}
+
+TEST(ExtentOverlap, CleanForDisjointAndSkipsEmpty) {
+    // Empty extents may sit anywhere (spawned-but-dead branches).
+    std::vector<analysis::Extent> ex = {{0, 8}, {3, 3}, {8, 16}, {20, 20}};
+    analysis::AnalysisReport rep;
+    analysis::detect_extent_overlaps(ex, "unit/extents", rep);
+    EXPECT_TRUE(rep.findings.empty());
+}
+
+// ------------------------------------------------------- observed schedule
+
+/// Hardware where GPU lanes genuinely compete with the cores for modest
+/// per-task costs (hpu1's per-lane speed makes 100-op tasks CPU-bound,
+/// which would leave the split logic unexercised).
+sim::HpuParams gpu_friendly() {
+    sim::HpuParams hw = platforms::hpu1();
+    hw.name = "gpu-friendly";
+    hw.cpu.p = 4;
+    hw.cpu.contention = 0.0;
+    hw.gpu.g = 64;
+    hw.gpu.gamma = 0.1;
+    hw.gpu.launch_overhead = 0.0;
+    hw.link.lambda = 5.0;
+    hw.link.delta = 0.01;
+    return hw;
+}
+
+TEST(ObservedSplit, PrefixMinimizesEstimatedMakespan) {
+    const sim::HpuParams hw = gpu_friendly();
+    // Uniform level wide enough that both units get a share.
+    std::vector<model::ObservedTask> est(256, model::ObservedTask{100.0, 4});
+    const auto sp = model::split_observed_level(hw, est, 1.0, true);
+    ASSERT_GT(sp.cpu_tasks, 0u);
+    ASSERT_LT(sp.cpu_tasks, est.size());
+    EXPECT_GT(sp.alpha, 0.0);
+    EXPECT_LT(sp.alpha, 1.0);
+    // No other split may beat the chosen one under the documented pricing.
+    auto makespan = [&](std::uint64_t k) {
+        double csum = 0.0, cmax = 0.0;
+        for (std::uint64_t j = 0; j < k; ++j) {
+            csum += est[j].cost;
+            cmax = std::max(cmax, est[j].cost);
+        }
+        const double cpu =
+            k > 0 ? std::max(csum / static_cast<double>(hw.cpu.p), cmax) : 0.0;
+        double gsum = 0.0, gmax = 0.0;
+        std::uint64_t words = 0;
+        for (std::uint64_t j = k; j < est.size(); ++j) {
+            gsum += est[j].cost;
+            gmax = std::max(gmax, est[j].cost);
+            words += est[j].words;
+        }
+        double gpu = 0.0;
+        if (k < est.size()) {
+            gpu = hw.gpu.launch_overhead +
+                  std::max(gsum / (hw.gpu.gamma * static_cast<double>(hw.gpu.g)),
+                           gmax / hw.gpu.gamma) +
+                  2.0 * hw.link.lambda + 2.0 * hw.link.delta * static_cast<double>(words);
+        }
+        return std::max(cpu, gpu);
+    };
+    const double chosen = std::max(sp.cpu_est, sp.gpu_est);
+    EXPECT_DOUBLE_EQ(chosen, makespan(sp.cpu_tasks));
+    for (std::uint64_t k = 0; k <= est.size(); ++k) {
+        EXPECT_LE(chosen, makespan(k) + 1e-9) << "k=" << k;
+    }
+}
+
+TEST(ObservedSplit, SkewedCostsShiftTheSplit) {
+    const sim::HpuParams hw = gpu_friendly();
+    // Front-loaded costs: the same width must yield a smaller CPU prefix
+    // than uniform costs would.
+    std::vector<model::ObservedTask> uniform(64, model::ObservedTask{100.0, 4});
+    std::vector<model::ObservedTask> skewed = uniform;
+    for (std::uint64_t j = 0; j < 8; ++j) skewed[j].cost = 3000.0;
+    const auto su = model::split_observed_level(hw, uniform, 1.0, true);
+    const auto ss = model::split_observed_level(hw, skewed, 1.0, true);
+    EXPECT_LE(ss.cpu_tasks, su.cpu_tasks);
+}
+
+// ----------------------------------------------------- engine end-to-end
+
+std::vector<algos::Pt> random_points(std::uint64_t n, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::vector<algos::Pt> pts(n);
+    for (auto& p : pts) {
+        p.x = static_cast<std::int64_t>(rng() % 4096);
+        p.y = static_cast<std::int64_t>(rng() % 4096);
+    }
+    return pts;
+}
+
+/// Sums the task counts of kLevel spans under the phase with the given
+/// label suffix ("/expand" or "/combine").
+std::uint64_t phase_level_tasks(const trace::TraceSession& ts, const std::string& suffix) {
+    std::vector<trace::SpanId> phases;
+    for (const trace::Span& s : ts.spans()) {
+        if (s.kind == trace::SpanKind::kPhase &&
+            s.label.size() >= suffix.size() &&
+            s.label.compare(s.label.size() - suffix.size(), suffix.size(), suffix) == 0) {
+            phases.push_back(s.id);
+        }
+    }
+    std::uint64_t tasks = 0;
+    for (const trace::Span& s : ts.spans()) {
+        if (s.kind != trace::SpanKind::kLevel) continue;
+        if (std::find(phases.begin(), phases.end(), s.parent) == phases.end()) continue;
+        tasks += s.attrs.tasks;
+    }
+    return tasks;
+}
+
+TEST(IrregularEngine, AllSixExecutorsAgreeBitExactly) {
+    const auto base = random_points(300, 17);
+    algos::ClosestPair alg;
+    sim::Hpu h(platforms::hpu1());
+    ExecOptions opts;
+
+    auto ref = base;
+    const ExecReport rs = run_sequential(h.cpu(), alg, std::span(ref), opts);
+    EXPECT_GT(rs.tasks_spawned, 0u);
+    EXPECT_EQ(rs.levels_gpu, 0u);
+
+    auto check = [&](const char* label, auto&& fn) {
+        auto d = base;
+        const ExecReport r = fn(std::span(d));
+        EXPECT_EQ(d, ref) << label << " output differs from sequential";
+        EXPECT_EQ(r.tasks_spawned, rs.tasks_spawned) << label;
+        EXPECT_TRUE(std::isfinite(r.total)) << label;
+        EXPECT_GT(r.total, 0.0) << label;
+        return r;
+    };
+    check("multicore", [&](std::span<algos::Pt> d) {
+        return run_multicore(h.cpu(), alg, d, opts);
+    });
+    const ExecReport rg =
+        check("gpu", [&](std::span<algos::Pt> d) { return run_gpu(h, alg, d, opts); });
+    EXPECT_GT(rg.transfer, 0.0);  // boundary ship-in/out
+    check("basic-hybrid", [&](std::span<algos::Pt> d) {
+        return run_basic_hybrid(h, alg, d, opts);
+    });
+    const ExecReport ra = check("advanced-hybrid", [&](std::span<algos::Pt> d) {
+        AdvancedOptions a;
+        a.exec = opts;
+        // The closed-form (α, y) is ignored on the dynamic path — even
+        // values the regular executor would reject must work.
+        return run_advanced_hybrid(h, alg, d, 0.999, 1, a);
+    });
+    EXPECT_GT(ra.alpha_effective, 0.0);
+    EXPECT_LE(ra.alpha_effective, 1.0);
+    const ExecReport rp = check("pipelined-hybrid", [&](std::span<algos::Pt> d) {
+        PipelinedOptions p;
+        p.exec = opts;
+        p.chunks = 4;
+        return run_pipelined_hybrid(h, alg, d, 0.5, 1, p);
+    });
+    EXPECT_GE(rp.chunks, 1u);
+    EXPECT_LE(rp.chunks, 4u);
+
+    // A different machine may only change the schedule, never the bytes.
+    sim::Hpu hg(gpu_friendly());
+    check("advanced-hybrid/gpu-friendly", [&](std::span<algos::Pt> d) {
+        AdvancedOptions a;
+        a.exec = opts;
+        return run_advanced_hybrid(hg, alg, d, 0.5, 1, a);
+    });
+    check("pipelined-hybrid/gpu-friendly", [&](std::span<algos::Pt> d) {
+        PipelinedOptions p;
+        p.exec = opts;
+        p.chunks = 4;
+        return run_pipelined_hybrid(hg, alg, d, 0.5, 1, p);
+    });
+}
+
+TEST(IrregularEngine, SpanTaskCountsConserveTasksSpawned) {
+    // The conservation invariant, span-derived: summing the `tasks`
+    // attribute of the kLevel spans under the expand phase reconstructs
+    // tasks_spawned — however the schedule split each level.
+    const auto base = random_points(257, 23);
+    algos::Quickhull alg;
+    // GPU-friendly hardware so hybrid levels genuinely split — a split
+    // level's CPU and GPU spans must still sum to the full width.
+    sim::Hpu h(gpu_friendly());
+    for (int executor = 0; executor < 3; ++executor) {
+        auto d = base;
+        trace::TraceSession ts;
+        ExecOptions opts;
+        opts.trace = &ts;
+        ExecReport r;
+        switch (executor) {
+            case 0: r = run_multicore(h.cpu(), alg, std::span(d), opts); break;
+            case 1: r = run_gpu(h, alg, std::span(d), opts); break;
+            default: {
+                AdvancedOptions a;
+                a.exec = opts;
+                r = run_advanced_hybrid(h, alg, std::span(d), 0.5, 1, a);
+                break;
+            }
+        }
+        EXPECT_GT(r.tasks_spawned, 0u);
+        EXPECT_EQ(phase_level_tasks(ts, "/expand"), r.tasks_spawned)
+            << "executor " << executor;
+    }
+}
+
+TEST(IrregularEngine, ExactTreesSpawnTheSameCountFunctionalAndAnalytic) {
+    // closest-pair and Karatsuba have data-independent tree shapes, so the
+    // analytic path must price exactly the tree the functional path runs.
+    sim::Hpu h(platforms::hpu1());
+    {
+        algos::ClosestPair alg;
+        auto d = random_points(199, 5);
+        ExecOptions opts;
+        const auto rf = run_multicore(h.cpu(), alg, std::span(d), opts);
+        opts.functional = false;
+        const auto ra = run_multicore(h.cpu(), alg, std::span(d), opts);
+        EXPECT_EQ(rf.tasks_spawned, ra.tasks_spawned);
+    }
+    {
+        algos::KaratsubaArray alg;
+        std::vector<std::int64_t> d(2 * 151, 3);
+        ExecOptions opts;
+        const auto rf = run_gpu(h, alg, std::span(d), opts);
+        opts.functional = false;
+        std::vector<std::int64_t> d2(2 * 151, 3);
+        const auto ra = run_gpu(h, alg, std::span(d2), opts);
+        EXPECT_EQ(rf.tasks_spawned, ra.tasks_spawned);
+    }
+}
+
+TEST(IrregularEngine, AnalyticModeNeverTouchesData) {
+    algos::KaratsubaArray alg;
+    sim::Hpu h(platforms::hpu1());
+    std::vector<std::int64_t> d(2 * 100, 9);
+    const auto before = d;
+    ExecOptions opts;
+    opts.functional = false;
+    AdvancedOptions a;
+    a.exec = opts;
+    const auto r = run_advanced_hybrid(h, alg, std::span(d), 0.5, 1, a);
+    EXPECT_EQ(d, before);
+    EXPECT_GT(r.total, 0.0);
+    EXPECT_GT(r.tasks_spawned, 0u);
+}
+
+TEST(IrregularEngine, LevelSpansCarryWidthAndImbalanceAttrs) {
+    const auto base = random_points(200, 31);
+    algos::ClosestPair alg;
+    sim::Hpu h(platforms::hpu1());
+    auto d = base;
+    trace::TraceSession ts;
+    ExecOptions opts;
+    opts.trace = &ts;
+    run_multicore(h.cpu(), alg, std::span(d), opts);
+    std::uint64_t levels_with_extent = 0, levels_with_imbalance = 0;
+    for (const trace::Span& s : ts.spans()) {
+        if (s.kind != trace::SpanKind::kLevel) continue;
+        if (s.attrs.extent_words > 0) ++levels_with_extent;
+        if (s.attrs.imbalance > 0.0) ++levels_with_imbalance;
+        // The ceil/floor tree skews: some level must show imbalance > 1.
+    }
+    EXPECT_GT(levels_with_extent, 0u);
+    EXPECT_GT(levels_with_imbalance, 0u);
+    bool skew_seen = false;
+    for (const trace::Span& s : ts.spans()) {
+        if (s.kind == trace::SpanKind::kLevel && s.attrs.imbalance > 1.0) skew_seen = true;
+    }
+    EXPECT_TRUE(skew_seen) << "uneven strip recursion must show shape skew";
+}
+
+TEST(IrregularEngine, VerifyDowngradesToCheckedWithDynamicFootprintFinding) {
+    // Static race-freedom proofs need static footprints; a dynamic tree
+    // cannot declare one. ExecOptions::verify must attach the downgrade
+    // certificate — all phases unknown, a kDynamicFootprint finding, and
+    // proven() == false so the exact runtime checks stay armed.
+    algos::Quickhull alg;
+    sim::Hpu h(platforms::hpu1());
+    auto d = random_points(100, 7);
+    ExecOptions opts;
+    opts.verify = true;
+    opts.validate = true;
+    const auto r = run_gpu(h, alg, std::span(d), opts);
+    EXPECT_TRUE(r.verify.attempted);
+    EXPECT_FALSE(r.verify.race_free());
+    EXPECT_FALSE(r.verify.certified());
+    bool downgrade = false;
+    for (const auto& f : r.verify.findings) {
+        if (f.kind == verify::VerifyFinding::Kind::kDynamicFootprint) downgrade = true;
+    }
+    EXPECT_TRUE(downgrade);
+    // ...and the armed runtime checks find nothing wrong with quickhull.
+    EXPECT_TRUE(r.analysis.findings.empty()) << r.analysis.summary();
+    EXPECT_GT(r.analysis.launches_checked, 0u);
+}
+
+TEST(IrregularEngine, RegularAlgorithmsNeverTakeTheIrregularPath) {
+    algos::MergesortPlain<std::int32_t> alg;
+    sim::Hpu h(platforms::hpu1());
+    std::vector<std::int32_t> d(256);
+    for (std::uint64_t i = 0; i < d.size(); ++i) d[i] = static_cast<std::int32_t>(255 - i);
+    const auto r = run_basic_hybrid(h, alg, std::span(d), ExecOptions{});
+    EXPECT_EQ(r.tasks_spawned, 0u);  // irregular-only counter stays 0
+    EXPECT_TRUE(std::is_sorted(d.begin(), d.end()));
+}
+
+TEST(IrregularEngine, NonPowerOfTwoSizesRunEverywhere) {
+    // The whole point of the dynamic path: sizes no regular executor
+    // accepts. 251 is prime; 2·163 has an odd half.
+    sim::Hpu h(platforms::hpu1());
+    {
+        algos::ClosestPair alg;
+        auto d = random_points(251, 41);
+        auto ref = d;
+        run_sequential(h.cpu(), alg, std::span(ref), ExecOptions{});
+        PipelinedOptions p;
+        p.chunks = 3;
+        const auto r = run_pipelined_hybrid(h, alg, std::span(d), 0.5, 1, p);
+        EXPECT_EQ(d, ref);
+        EXPECT_GT(r.tasks_spawned, 0u);
+    }
+    {
+        algos::KaratsubaArray alg;
+        std::mt19937_64 rng(9);
+        std::vector<std::int64_t> d(2 * 163);
+        for (auto& v : d) v = static_cast<std::int64_t>(rng() % 100) - 50;
+        auto ref = d;
+        run_sequential(h.cpu(), alg, std::span(ref), ExecOptions{});
+        const auto r = run_basic_hybrid(h, alg, std::span(d), ExecOptions{});
+        EXPECT_EQ(d, ref);
+        EXPECT_GT(r.tasks_spawned, 0u);
+    }
+}
+
+}  // namespace
+}  // namespace hpu::core

@@ -90,7 +90,9 @@ TEST(PipelinedHybrid, K1ReproducesAdvancedExactly) {
             EXPECT_EQ(p.transfer, a.transfer);
             EXPECT_EQ(p.finish, a.finish);
             EXPECT_EQ(p.chunks, 1u);
-            if (functional) EXPECT_EQ(dp, da);
+            if (functional) {
+                EXPECT_EQ(dp, da);
+            }
         }
     }
 }

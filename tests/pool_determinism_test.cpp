@@ -18,8 +18,11 @@
 #include <vector>
 
 #include "algos/binary_reduce.hpp"
+#include "algos/closest_pair.hpp"
+#include "algos/karatsuba.hpp"
 #include "algos/mergesort.hpp"
 #include "algos/mergesort_blocked.hpp"
+#include "algos/quickhull.hpp"
 #include "core/hybrid.hpp"
 #include "core/pipeline.hpp"
 #include "platforms/platforms.hpp"
@@ -76,11 +79,13 @@ std::vector<std::int32_t> make_input(std::uint64_t n) {
     return v;
 }
 
-/// Everything one run produces that the invariant covers.
+/// Everything one run produces that the invariant covers. Templated on the
+/// element type so the irregular algorithms (Pt, int64) ride the same sweep.
+template <typename T>
 struct RunArtifacts {
     ExecReport rep;
     std::vector<trace::Span> spans;
-    std::vector<std::int32_t> out;
+    std::vector<T> out;
     std::vector<std::string> findings;
     std::uint64_t launches_checked = 0;
     std::uint64_t launches_skipped = 0;
@@ -90,8 +95,9 @@ struct RunArtifacts {
 constexpr const char* kExecutors[] = {"sequential", "multicore", "gpu",
                                       "basic",      "advanced",  "pipelined"};
 
-RunArtifacts run_one(util::ThreadPool* pool, int executor, const LevelAlgorithm<std::int32_t>& alg,
-                     const std::vector<std::int32_t>& input, bool functional) {
+template <typename T>
+RunArtifacts<T> run_one(util::ThreadPool* pool, int executor, const LevelAlgorithm<T>& alg,
+                        const std::vector<T>& input, bool functional) {
     sim::Hpu h(small_hw(), pool);
     trace::TraceSession ts;
     ExecOptions opts;
@@ -99,9 +105,9 @@ RunArtifacts run_one(util::ThreadPool* pool, int executor, const LevelAlgorithm<
     opts.validate = functional;  // analysis findings are part of the invariant
     opts.trace = &ts;
 
-    RunArtifacts art;
+    RunArtifacts<T> art;
     art.out = input;
-    std::span<std::int32_t> data(art.out);
+    std::span<T> data(art.out);
     switch (executor) {
         case 0: art.rep = run_sequential(h.cpu(), alg, data, opts); break;
         case 1: art.rep = run_multicore(h.cpu(), alg, data, opts); break;
@@ -129,7 +135,8 @@ RunArtifacts run_one(util::ThreadPool* pool, int executor, const LevelAlgorithm<
     return art;
 }
 
-void expect_identical(const RunArtifacts& a, const RunArtifacts& b) {
+template <typename T>
+void expect_identical(const RunArtifacts<T>& a, const RunArtifacts<T>& b) {
     // ExecReport, field by field, exact (doubles included: the fold order
     // is pinned, so even floating maxima must match bit for bit).
     EXPECT_EQ(a.rep.total, b.rep.total);
@@ -141,6 +148,7 @@ void expect_identical(const RunArtifacts& a, const RunArtifacts& b) {
     EXPECT_EQ(a.rep.levels_gpu, b.rep.levels_gpu);
     EXPECT_EQ(a.rep.alpha_effective, b.rep.alpha_effective);
     EXPECT_EQ(a.rep.chunks, b.rep.chunks);
+    EXPECT_EQ(a.rep.tasks_spawned, b.rep.tasks_spawned);
 
     // Functional results.
     EXPECT_EQ(a.out, b.out);
@@ -173,6 +181,8 @@ void expect_identical(const RunArtifacts& a, const RunArtifacts& b) {
         EXPECT_EQ(sa.attrs.bytes, sb.attrs.bytes);
         EXPECT_EQ(sa.attrs.coalesced_transactions, sb.attrs.coalesced_transactions);
         EXPECT_EQ(sa.attrs.strided_transactions, sb.attrs.strided_transactions);
+        EXPECT_EQ(sa.attrs.extent_words, sb.attrs.extent_words);
+        EXPECT_EQ(sa.attrs.imbalance, sb.attrs.imbalance);
     }
 }
 
@@ -197,6 +207,64 @@ TEST(PoolDeterminism, AllAlgorithmsExecutorsAndModes) {
             }
         }
     }
+}
+
+/// Full executor × mode sweep for one irregular algorithm: pooled, inline,
+/// and null-pool runs must agree on everything RunArtifacts covers — the
+/// dynamically produced task lists (and so tasks_spawned, level spans, and
+/// the per-level width/imbalance attrs) included.
+template <typename T>
+void sweep_irregular(const LevelAlgorithm<T>& alg, const std::vector<T>& input,
+                     util::ThreadPool& inline_pool, util::ThreadPool& pool) {
+    for (const bool functional : {true, false}) {
+        for (int e = 0; e < 6; ++e) {
+            SCOPED_TRACE(::testing::Message()
+                         << "alg=" << alg.name() << " executor=" << kExecutors[e]
+                         << " functional=" << functional << " n=" << input.size());
+            const auto serial = run_one(&inline_pool, e, alg, input, functional);
+            const auto pooled = run_one(&pool, e, alg, input, functional);
+            expect_identical(serial, pooled);
+            const auto nopool = run_one<T>(nullptr, e, alg, input, functional);
+            expect_identical(serial, nopool);
+            EXPECT_GT(serial.rep.tasks_spawned, 0u);  // the irregular path ran
+        }
+    }
+}
+
+TEST(PoolDeterminism, IrregularAlgorithmsExecutorsAndModes) {
+    util::ThreadPool inline_pool(0);
+    util::ThreadPool pool(pooled_workers());
+
+    // Deterministic scattered points, non-power-of-two count.
+    std::vector<algos::Pt> pts(300);
+    std::uint64_t x = 0x9e3779b97f4a7c15ull;
+    for (auto& p : pts) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        p.x = static_cast<std::int64_t>(x % 4001);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        p.y = static_cast<std::int64_t>(x % 4001);
+    }
+
+    algos::Quickhull qh;
+    sweep_irregular<algos::Pt>(qh, pts, inline_pool, pool);
+
+    algos::ClosestPair cp;
+    sweep_irregular<algos::Pt>(cp, pts, inline_pool, pool);
+
+    // Karatsuba input is two size-160 operands back to back.
+    std::vector<std::int64_t> coeffs(2 * 160);
+    for (auto& c : coeffs) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        c = static_cast<std::int64_t>(x % 201) - 100;
+    }
+    algos::KaratsubaArray ka;
+    sweep_irregular<std::int64_t>(ka, coeffs, inline_pool, pool);
 }
 
 // Raw device layer: non-uniform per-item charges across several waves.

@@ -15,6 +15,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <random>
@@ -22,8 +24,11 @@
 #include <vector>
 
 #include "algos/binary_reduce.hpp"
+#include "algos/closest_pair.hpp"
+#include "algos/karatsuba.hpp"
 #include "algos/mergesort.hpp"
 #include "algos/mergesort_blocked.hpp"
+#include "algos/quickhull.hpp"
 #include "core/hybrid.hpp"
 #include "core/pipeline.hpp"
 #include "platforms/platforms.hpp"
@@ -219,6 +224,252 @@ TEST(PropertyHarness, RandomInstancesAgreeAcrossExecutorsAndModes) {
             EXPECT_GE(prep.chunks, 1u);
             EXPECT_LE(prep.chunks, in.chunks);
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Irregular trees: the same two properties over dynamic task lists.
+// Instances are quickhull / closest-pair / Karatsuba at sizes no regular
+// executor accepts (primes, odd halves); conservation is span-derived —
+// summing the `tasks` attribute of the kLevel spans under the expand phase
+// must reconstruct ExecReport::tasks_spawned, empty branches included.
+
+/// One randomized irregular instance over element type T.
+template <typename T>
+struct IrregularInstance {
+    std::uint64_t seed = 0;
+    std::unique_ptr<IrregularLevelAlgorithm<T>> alg;
+    std::vector<T> input;
+    sim::HpuParams hw;
+    std::uint64_t chunks = 1;
+    /// Ground truth beyond bit-exactness, checked on the sequential output.
+    std::function<void(const std::vector<T>&, const std::vector<T>&)> truth;
+};
+
+/// Sums kLevel span task counts under the expand phase(s).
+std::uint64_t expand_level_tasks(const trace::TraceSession& ts) {
+    std::vector<trace::SpanId> phases;
+    for (const trace::Span& s : ts.spans()) {
+        if (s.kind == trace::SpanKind::kPhase && s.label.size() >= 7 &&
+            s.label.compare(s.label.size() - 7, 7, "/expand") == 0) {
+            phases.push_back(s.id);
+        }
+    }
+    std::uint64_t tasks = 0;
+    for (const trace::Span& s : ts.spans()) {
+        if (s.kind != trace::SpanKind::kLevel) continue;
+        for (const trace::SpanId p : phases) {
+            if (s.parent == p) {
+                tasks += s.attrs.tasks;
+                break;
+            }
+        }
+    }
+    return tasks;
+}
+
+/// Runs one irregular instance through all six executors in one mode and
+/// checks bit-exact outputs plus span-derived task conservation.
+template <typename T>
+void run_irregular_instance(const IrregularInstance<T>& in, bool functional) {
+    ExecOptions opts;
+    opts.functional = functional;
+    sim::Hpu h(in.hw);
+
+    std::vector<T> ref = in.input;
+    std::uint64_t ref_spawned = 0;
+    {
+        trace::TraceSession ts;
+        ExecOptions o = opts;
+        o.trace = &ts;
+        const ExecReport rep = run_sequential(h.cpu(), *in.alg, std::span(ref), o);
+        EXPECT_TRUE(std::isfinite(rep.total));
+        EXPECT_GT(rep.total, 0.0);
+        EXPECT_GT(rep.tasks_spawned, 0u);
+        EXPECT_EQ(expand_level_tasks(ts), rep.tasks_spawned) << "sequential conservation";
+        ref_spawned = rep.tasks_spawned;
+        if (functional && in.truth) in.truth(in.input, ref);
+    }
+
+    auto against_ref = [&](const char* label, auto&& run) {
+        std::vector<T> data = in.input;
+        trace::TraceSession ts;
+        ExecOptions o = opts;
+        o.trace = &ts;
+        const ExecReport rep = run(std::span(data), o);
+        EXPECT_TRUE(std::isfinite(rep.total)) << label;
+        EXPECT_GT(rep.total, 0.0) << label;
+        if (functional) {
+            EXPECT_EQ(data, ref) << label << ": output differs from the sequential run";
+        }
+        EXPECT_EQ(rep.tasks_spawned, ref_spawned) << label << ": tree shape diverged";
+        EXPECT_EQ(expand_level_tasks(ts), rep.tasks_spawned) << label << ": conservation";
+        return rep;
+    };
+
+    against_ref("multicore", [&](std::span<T> d, const ExecOptions& o) {
+        return run_multicore(h.cpu(), *in.alg, d, o);
+    });
+    against_ref("gpu", [&](std::span<T> d, const ExecOptions& o) {
+        return run_gpu(h, *in.alg, d, o);
+    });
+    against_ref("basic-hybrid", [&](std::span<T> d, const ExecOptions& o) {
+        return run_basic_hybrid(h, *in.alg, d, o);
+    });
+    const ExecReport ra =
+        against_ref("advanced-hybrid", [&](std::span<T> d, const ExecOptions& o) {
+            AdvancedOptions a;
+            a.exec = o;
+            return run_advanced_hybrid(h, *in.alg, d, 0.5, 1, a);
+        });
+    EXPECT_GE(ra.alpha_effective, 0.0);
+    EXPECT_LE(ra.alpha_effective, 1.0);
+    const ExecReport rp =
+        against_ref("pipelined-hybrid", [&](std::span<T> d, const ExecOptions& o) {
+            PipelinedOptions p;
+            p.chunks = in.chunks;
+            p.exec = o;
+            return run_pipelined_hybrid(h, *in.alg, d, 0.5, 1, p);
+        });
+    EXPECT_GE(rp.chunks, 1u);
+    EXPECT_LE(rp.chunks, in.chunks);
+}
+
+sim::HpuParams random_irregular_hw(std::mt19937_64& rng) {
+    auto pick = [&](std::uint64_t lo, std::uint64_t hi) {
+        return lo + rng() % (hi - lo + 1);
+    };
+    auto real = [&](double lo, double hi) {
+        return lo + (hi - lo) * (static_cast<double>(rng() >> 11) * 0x1.0p-53);
+    };
+    sim::HpuParams hw = platforms::hpu1();
+    hw.name = "random-irregular";
+    hw.cpu.p = pick(1, 8);
+    hw.cpu.contention = 0.0;
+    hw.gpu.g = 1ull << pick(4, 10);
+    hw.gpu.gamma = real(0.01, 0.2);
+    hw.link.lambda = real(0.0, 500.0);
+    hw.link.delta = real(0.01, 1.0);
+    return hw;
+}
+
+TEST(PropertyHarness, IrregularInstancesAgreeAcrossExecutorsAndModes) {
+    constexpr int kCases = 200;
+    std::mt19937_64 master(0xd1ceca5e202608ull);
+    for (int c = 0; c < kCases; ++c) {
+        const std::uint64_t seed = master();
+        std::mt19937_64 rng(seed);
+        auto pick = [&](std::uint64_t lo, std::uint64_t hi) {
+            return lo + rng() % (hi - lo + 1);
+        };
+        const int kind = static_cast<int>(pick(0, 2));
+        const std::uint64_t chunks = pick(1, 6);
+
+        if (kind == 2) {
+            IrregularInstance<std::int64_t> in;
+            in.seed = seed;
+            in.hw = random_irregular_hw(rng);
+            in.chunks = chunks;
+            in.alg = std::make_unique<algos::KaratsubaArray>();
+            const std::uint64_t half = pick(2, 200);
+            in.input.resize(2 * half);
+            for (auto& v : in.input) {
+                v = static_cast<std::int64_t>(pick(0, 200)) - 100;
+            }
+            in.truth = [half](const std::vector<std::int64_t>& input,
+                              const std::vector<std::int64_t>& out) {
+                std::vector<std::int64_t> want(2 * half, 0);
+                for (std::uint64_t i = 0; i < half; ++i) {
+                    for (std::uint64_t j = 0; j < half; ++j) {
+                        want[i + j] += input[i] * input[half + j];
+                    }
+                }
+                EXPECT_EQ(out, want) << "karatsuba product";
+            };
+            SCOPED_TRACE(::testing::Message() << "case " << c << " seed=" << seed
+                                              << " alg=karatsuba half=" << half
+                                              << " p=" << in.hw.cpu.p << " K=" << chunks);
+            run_irregular_instance(in, /*functional=*/true);
+            run_irregular_instance(in, /*functional=*/false);
+            continue;
+        }
+
+        IrregularInstance<algos::Pt> in;
+        in.seed = seed;
+        in.hw = random_irregular_hw(rng);
+        in.chunks = chunks;
+        const std::uint64_t n = pick(2, 400);
+        in.input.resize(n);
+        for (auto& p : in.input) {
+            p.x = static_cast<std::int64_t>(pick(0, 2000));
+            p.y = static_cast<std::int64_t>(pick(0, 2000));
+        }
+        if (kind == 0) {
+            auto qh = std::make_unique<algos::Quickhull>();
+            const algos::Quickhull* qh_ptr = qh.get();
+            in.alg = std::move(qh);
+            in.truth = [qh_ptr](const std::vector<algos::Pt>& input,
+                                const std::vector<algos::Pt>& out) {
+                // Strict hull vertices (monotone chain) must all appear at
+                // the front of the output, which finalize sorts and dedups.
+                std::vector<algos::Pt> s = input;
+                std::sort(s.begin(), s.end());
+                s.erase(std::unique(s.begin(), s.end()), s.end());
+                std::vector<algos::Pt> hull;
+                if (s.size() < 2) {
+                    hull = s;
+                } else {
+                    auto build = [&](auto begin, auto end) {
+                        std::vector<algos::Pt> chain;
+                        for (auto it = begin; it != end; ++it) {
+                            while (chain.size() >= 2 &&
+                                   algos::cross(chain[chain.size() - 2], chain.back(),
+                                                *it) >= 0) {
+                                chain.pop_back();
+                            }
+                            chain.push_back(*it);
+                        }
+                        return chain;
+                    };
+                    hull = build(s.begin(), s.end());
+                    const auto upper = build(s.rbegin(), s.rend());
+                    hull.insert(hull.end(), upper.begin() + 1, upper.end() - 1);
+                }
+                std::sort(hull.begin(), hull.end());
+                hull.erase(std::unique(hull.begin(), hull.end()), hull.end());
+                // The output hull sits sorted at the front of the array;
+                // hull_count() reflects the run truth is checking (it is
+                // called right after the sequential reference run).
+                const std::uint64_t hc = qh_ptr->hull_count();
+                ASSERT_LE(hc, out.size());
+                ASSERT_GE(hc, hull.size()) << "fewer marks than strict hull vertices";
+                const auto front = out.begin() + static_cast<std::ptrdiff_t>(hc);
+                for (const algos::Pt& v : hull) {
+                    EXPECT_TRUE(std::binary_search(out.begin(), front, v))
+                        << "hull vertex (" << v.x << "," << v.y
+                        << ") missing from quickhull output";
+                }
+            };
+        } else {
+            in.alg = std::make_unique<algos::ClosestPair>();
+            in.truth = [](const std::vector<algos::Pt>& input,
+                          const std::vector<algos::Pt>& out) {
+                std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+                for (std::uint64_t i = 0; i < input.size(); ++i) {
+                    for (std::uint64_t j = i + 1; j < input.size(); ++j) {
+                        best = std::min(best, algos::dist2(input[i], input[j]));
+                    }
+                }
+                EXPECT_EQ(static_cast<std::uint64_t>(out[0].x), best)
+                    << "closest-pair distance";
+            };
+        }
+        SCOPED_TRACE(::testing::Message()
+                     << "case " << c << " seed=" << seed << " alg=" << in.alg->name()
+                     << " n=" << n << " p=" << in.hw.cpu.p << " g=" << in.hw.gpu.g
+                     << " K=" << chunks);
+        run_irregular_instance(in, /*functional=*/true);
+        run_irregular_instance(in, /*functional=*/false);
     }
 }
 

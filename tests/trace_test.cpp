@@ -469,7 +469,7 @@ TEST(Exporters, CsvHasHeaderAndOneRowPerSpan) {
     EXPECT_EQ(line,
               "id,parent,kind,unit,label,start,end,duration,level,tasks,items,waves,ops,"
               "max_ops,work,bytes,coalesced_transactions,strided_transactions,"
-              "wall_start_ns,wall_ns");
+              "extent_words,imbalance,wall_start_ns,wall_ns");
     std::size_t rows = 0;
     while (std::getline(in, line)) ++rows;
     EXPECT_EQ(rows, session.spans().size());

@@ -22,9 +22,17 @@ a failure, for fixtures that ran with --profile.
 
 Usage: tools/check_trace.py <trace.json> [--min-spans N] [--expect-chunks K]
                             [--require-wall]
+       tools/check_trace.py --self-test
+
+--self-test runs the checker against built-in fixtures, including an
+irregular-tree export (dynamic task lists: uneven level widths, empty
+branches, per-level extent_words / imbalance args) — the shape contract is
+the same as for regular trees: run → phase → level → wave, every child
+nested in its parent.
 """
 
 import argparse
+import io
 import json
 import sys
 
@@ -148,25 +156,9 @@ def check_wall(complete, by_id, require_wall):
     return len(annotated)
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("trace", help="Chrome trace-event JSON file to check")
-    ap.add_argument("--min-spans", type=int, default=1,
-                    help="minimum number of complete (ph=X) events required")
-    ap.add_argument("--expect-chunks", type=int, default=None,
-                    help="exact number of pipelined input-chunk transfer "
-                         "spans (name contains 'xfer-in-chunk') required")
-    ap.add_argument("--require-wall", action="store_true",
-                    help="fail when the export carries no wall-clock "
-                         "annotations (expects a --profile run)")
-    args = ap.parse_args()
-
-    try:
-        with open(args.trace, encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        fail(f"cannot parse {args.trace}: {e}")
-
+def check_doc(doc, min_spans=1, expect_chunks=None, require_wall=False):
+    """The full shape check over a parsed export. Returns (spans, annotated,
+    tracks); every violation goes through fail() and exits."""
     if not isinstance(doc, dict):
         fail("top level is not a JSON object")
     if doc.get("displayTimeUnit") != "ms":
@@ -201,20 +193,139 @@ def main():
 
     if set(tracks.values()) != TRACKS:
         fail(f"track names {sorted(tracks.values())} != {sorted(TRACKS)}")
-    if len(complete) < args.min_spans:
-        fail(f"only {len(complete)} spans, expected at least {args.min_spans}")
+    if len(complete) < min_spans:
+        fail(f"only {len(complete)} spans, expected at least {min_spans}")
 
     by_id = check_nesting(complete)
-    annotated = check_wall(complete, by_id, args.require_wall)
+    annotated = check_wall(complete, by_id, require_wall)
 
-    if args.expect_chunks is not None:
+    if expect_chunks is not None:
         chunks = sum(1 for ev in complete
                      if ev["cat"] == "transfer" and "xfer-in-chunk" in ev["name"])
-        if chunks != args.expect_chunks:
+        if chunks != expect_chunks:
             fail(f"{chunks} pipelined input-chunk spans, "
-                 f"expected exactly {args.expect_chunks}")
+                 f"expected exactly {expect_chunks}")
+    return len(complete), annotated, tracks
 
-    print(f"check_trace: OK: {len(complete)} spans ({annotated} wall-annotated) "
+
+# ------------------------------------------------------------- self-test
+
+
+def irregular_fixture():
+    """A synthetic irregular-tree export, shaped like core/irregular.hpp's
+    spans for quickhull: dynamic level widths 1 → 2 → 4 → 3 (uneven, with
+    empty branches raising imbalance above 1), a split level with both a
+    cpu-level and a gpu-level (waves under the gpu one), and transfers
+    hanging off the expand phase."""
+    meta = [{"ph": "M", "name": "thread_name", "pid": 1, "tid": tid,
+             "args": {"name": name}}
+            for tid, name in ((0, "host"), (1, "cpu"), (2, "gpu"), (3, "link"))]
+
+    def span(sid, parent, name, cat, tid, ts, dur, extra=None):
+        args = {"span_id": sid, "parent": parent}
+        if extra:
+            args.update(extra)
+        return {"ph": "X", "name": name, "cat": cat, "pid": 1, "tid": tid,
+                "ts": ts, "dur": dur, "args": args}
+
+    events = meta + [
+        span(1, 0, "quickhull", "run", 0, 0.0, 100.0),
+        span(2, 1, "quickhull/pre", "hook", 1, 0.0, 2.0),
+        span(3, 1, "quickhull/expand", "phase", 0, 2.0, 90.0),
+        # Level widths 1, 2, 4, 3: an irregular tree (a=2 would predict
+        # 1, 2, 4, 8 — early-terminated branches shrink the last level).
+        span(4, 3, "cpu-level", "level", 1, 2.0, 10.0,
+             {"level": 0, "tasks": 1, "extent_words": 64, "imbalance": 1.0}),
+        span(5, 3, "cpu-level", "level", 1, 12.0, 20.0,
+             {"level": 1, "tasks": 2, "extent_words": 63, "imbalance": 1.3}),
+        # Split level: CPU part and GPU part overlap in virtual time.
+        span(6, 3, "xfer-in", "transfer", 3, 32.0, 4.0, {"bytes": 256}),
+        span(7, 3, "cpu-level", "level", 1, 36.0, 18.0,
+             {"level": 2, "tasks": 1, "extent_words": 16, "imbalance": 2.0}),
+        span(8, 3, "gpu-level", "level", 2, 36.0, 30.0,
+             {"level": 2, "tasks": 3, "extent_words": 40, "imbalance": 2.0}),
+        span(9, 8, "wave", "wave", 2, 36.0, 15.0, {"items": 2}),
+        span(10, 8, "wave", "wave", 2, 51.0, 15.0, {"items": 1}),
+        span(11, 3, "xfer-out", "transfer", 3, 66.0, 4.0, {"bytes": 160}),
+        # One empty branch survives into the last level (3 tasks, not 8).
+        span(12, 3, "cpu-level", "level", 1, 70.0, 22.0,
+             {"level": 3, "tasks": 3, "extent_words": 9, "imbalance": 2.7}),
+        span(13, 1, "quickhull/finalize", "hook", 1, 92.0, 8.0),
+    ]
+    return {"displayTimeUnit": "ms", "traceEvents": events}
+
+
+def expect_fail(doc, why):
+    """The negative half of the self-test: check_doc must exit non-zero
+    (its failure message is swallowed — the rejection is the expectation)."""
+    saved, sys.stderr = sys.stderr, io.StringIO()
+    try:
+        check_doc(doc)
+    except SystemExit as e:
+        if e.code:
+            return
+    finally:
+        sys.stderr = saved
+    print(f"check_trace: SELF-TEST FAIL: {why} was not rejected",
+          file=sys.stderr)
+    sys.exit(1)
+
+
+def self_test():
+    fix = irregular_fixture()
+    spans, _, _ = check_doc(fix, min_spans=13)
+    widths = [ev["args"]["tasks"] for ev in fix["traceEvents"]
+              if ev.get("cat") == "level"]
+    if widths != [1, 2, 1, 3, 3]:
+        fail(f"fixture level widths drifted: {widths}")
+
+    # A level escaping its phase must be rejected...
+    bad = irregular_fixture()
+    bad["traceEvents"][-2]["ts"] = 200.0  # last cpu-level now outside run
+    expect_fail(bad, "escaping level span")
+
+    # ...and so must a wave whose parent level was dropped.
+    orphan = irregular_fixture()
+    orphan["traceEvents"] = [ev for ev in orphan["traceEvents"]
+                             if ev.get("args", {}).get("span_id") != 8]
+    expect_fail(orphan, "wave with a missing parent level")
+
+    print(f"check_trace: self-test OK ({spans} fixture spans, irregular "
+          f"widths nest run -> phase -> level -> wave)")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", nargs="?",
+                    help="Chrome trace-event JSON file to check")
+    ap.add_argument("--min-spans", type=int, default=1,
+                    help="minimum number of complete (ph=X) events required")
+    ap.add_argument("--expect-chunks", type=int, default=None,
+                    help="exact number of pipelined input-chunk transfer "
+                         "spans (name contains 'xfer-in-chunk') required")
+    ap.add_argument("--require-wall", action="store_true",
+                    help="fail when the export carries no wall-clock "
+                         "annotations (expects a --profile run)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="validate the checker against built-in fixtures "
+                         "(including an irregular-tree export) and exit")
+    args = ap.parse_args()
+
+    if args.self_test:
+        self_test()
+        return
+    if args.trace is None:
+        ap.error("trace file required (or --self-test)")
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {args.trace}: {e}")
+
+    spans, annotated, tracks = check_doc(doc, args.min_spans,
+                                         args.expect_chunks, args.require_wall)
+    print(f"check_trace: OK: {spans} spans ({annotated} wall-annotated) "
           f"across {len(tracks)} tracks in {args.trace}")
 
 
