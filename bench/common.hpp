@@ -22,6 +22,10 @@
 //   --pipeline=<K>   also run the pipelined hybrid (§9) with K transfer
 //                    chunks where the bench supports it (0 = off; the
 //                    scheduler's no-win guard may still fall back to K=1)
+//   --repeats=<k>    time each configuration k times and report the
+//                    minimum (min-of-k filters scheduler noise out of
+//                    wall-clock numbers; default 1, virtual results are
+//                    identical across repeats by construction)
 //   --workers=<k>    host threads for functional execution (see
 //                    worker_threads below; 0 = inline on the caller —
 //                    virtual times are identical either way, DESIGN.md §10;
@@ -31,6 +35,7 @@
 //                    a directory component pass through untouched
 #pragma once
 
+#include <algorithm>
 #include <filesystem>
 #include <iostream>
 #include <thread>
@@ -87,6 +92,25 @@ inline std::size_t worker_threads(const util::Cli& cli) {
     const auto def = static_cast<std::int64_t>(hc > 1 ? hc - 1 : 0);
     const std::int64_t k = cli.get_int("workers", def);
     return k > 0 ? static_cast<std::size_t>(k) : 0;
+}
+
+/// Timing repeats requested via --repeats (min 1). Wall-clock benches
+/// report min-of-k; the virtual clocks never vary across repeats, so only
+/// the timed seconds benefit.
+inline int repeats(const util::Cli& cli) {
+    const std::int64_t k = cli.get_int("repeats", 1);
+    return k > 1 ? static_cast<int>(k) : 1;
+}
+
+/// min-of-k estimator: run the timed thunk k times, keep the smallest
+/// result. The minimum is the standard noise filter for short wall-clock
+/// measurements — every perturbation (scheduler, turbo, page faults) only
+/// ever adds time.
+template <typename Fn>
+double min_of(int k, Fn&& fn) {
+    double best = fn();
+    for (int i = 1; i < k; ++i) best = std::min(best, fn());
+    return best;
 }
 
 /// Resolves a bare artifact filename against --out-dir (creating it on

@@ -21,6 +21,9 @@
 //   --lgmin=<l>    smallest size as log2(n)        (default 18)
 //   --lgmax=<l>    largest size as log2(n)         (default 24)
 //   --step=<s>     log2 stride through the sweep   (default 2)
+//   --repeats=<k>  min-of-k timing per configuration (default 1; see
+//                  common.hpp — repeats only steady the wall numbers,
+//                  virtual results are identical across repeats)
 //   --hull-n=<n>   point count for the irregular quickhull rows
 //                  (default 65536; pick a size outside the lg sweep so the
 //                  per-size normalizer stays unambiguous; 0 disables)
@@ -142,6 +145,7 @@ int main(int argc, char** argv) {
     const int lg_min = static_cast<int>(cli.get_int("lgmin", 18));
     const int lg_max = static_cast<int>(cli.get_int("lgmax", 24));
     const int step = static_cast<int>(cli.get_int("step", 2));
+    const int reps = bench::repeats(cli);
     const std::string out = bench::out_path(cli, cli.get("out", "BENCH_wallclock.json"));
     const std::uint64_t chunks = std::max<std::uint64_t>(1, bench::pipeline_chunks(cli));
 
@@ -168,9 +172,12 @@ int main(int argc, char** argv) {
             static_cast<std::uint64_t>(std::llround(opt.y)), 1, static_cast<std::uint64_t>(lg));
 
         for (int e = 0; e < 6; ++e) {
-            const double t0 =
-                timed_run(&inline_pool, e, spec.params, alg, input, opt.alpha, y, chunks);
-            const double t1 = timed_run(&pool, e, spec.params, alg, input, opt.alpha, y, chunks);
+            const double t0 = bench::min_of(reps, [&] {
+                return timed_run(&inline_pool, e, spec.params, alg, input, opt.alpha, y, chunks);
+            });
+            const double t1 = bench::min_of(reps, [&] {
+                return timed_run(&pool, e, spec.params, alg, input, opt.alpha, y, chunks);
+            });
             const double speedup = t1 > 0.0 ? t0 / t1 : 1.0;
             entries.push_back({n, kExecutors[e], 0, t0, 1.0});
             entries.push_back({n, kExecutors[e], workers, t1, speedup});
@@ -196,9 +203,12 @@ int main(int argc, char** argv) {
         }
         algos::Quickhull qh;
         for (int e = 0; e < 6; ++e) {
-            const double t0 =
-                timed_run(&inline_pool, e, spec.params, qh, pts, 0.3, 2, chunks);
-            const double t1 = timed_run(&pool, e, spec.params, qh, pts, 0.3, 2, chunks);
+            const double t0 = bench::min_of(reps, [&] {
+                return timed_run(&inline_pool, e, spec.params, qh, pts, 0.3, 2, chunks);
+            });
+            const double t1 = bench::min_of(reps, [&] {
+                return timed_run(&pool, e, spec.params, qh, pts, 0.3, 2, chunks);
+            });
             const double speedup = t1 > 0.0 ? t0 / t1 : 1.0;
             entries.push_back({hull_n, kExecutors[e], 0, t0, 1.0});
             entries.push_back({hull_n, kExecutors[e], workers, t1, speedup});

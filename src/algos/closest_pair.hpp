@@ -59,6 +59,10 @@ public:
         scratch_.resize(n);
     }
 
+    void bind_exec(const util::MergeExec& exec) const override { exec_ = exec; }
+
+    bool intra_task_parallel() const override { return exec_.parallel_ok(); }
+
     core::TaskList root_tasks(std::span<Pt> data, sim::OpCounter& ops) const override {
         const std::uint64_t n = data.size();
         HPU_CHECK(n_ == n, "prepare() was not called with this input size");
@@ -128,15 +132,27 @@ public:
         // Merge the two y-sorted halves through scratch, then copy back so
         // this extent is y-sorted for its parent.
         Pt* tmp = scratch_.data() + b;
-        std::uint64_t i = b, j = mid, w = 0;
         const auto yless = [](const Pt& p, const Pt& q) {
             return p.y != q.y ? p.y < q.y : p.x < q.x;
         };
-        while (i < mid && j < e) {
-            tmp[w++] = yless(data[j], data[i]) ? data[j++] : data[i++];
+        // Both paths produce the same stable merge (ties take the left
+        // half): the serial walk only takes the right element when it is
+        // strictly y-less, and merge_segments uses the identical test.
+        // The scratch output is disjoint from both input halves, so the
+        // Merge Path segments need no staging here.
+        const std::size_t parts =
+            exec_.parallel_ok() ? util::merge_parts(m, exec_.pool) : 1;
+        if (parts > 1) {
+            util::merge_segments(exec_.pool, data.data() + b, mid - b, data.data() + mid,
+                                 e - mid, tmp, yless, parts);
+        } else {
+            std::uint64_t i = b, j = mid, w = 0;
+            while (i < mid && j < e) {
+                tmp[w++] = yless(data[j], data[i]) ? data[j++] : data[i++];
+            }
+            while (i < mid) tmp[w++] = data[i++];
+            while (j < e) tmp[w++] = data[j++];
         }
-        while (i < mid) tmp[w++] = data[i++];
-        while (j < e) tmp[w++] = data[j++];
         for (std::uint64_t k = 0; k < m; ++k) data[b + k] = tmp[k];
         // Strip scan: y-ordered candidates near the split line, each against
         // at most the next 7 strip points.
@@ -201,6 +217,7 @@ protected:
     mutable std::vector<std::uint64_t> dist_;    ///< best d², keyed by extent begin
     mutable std::vector<std::int64_t> splitx_;   ///< split x, keyed by split index
     mutable std::vector<Pt> scratch_;            ///< y-merge staging
+    mutable util::MergeExec exec_;               ///< Merge Path binding (wall-side)
 };
 
 }  // namespace hpu::algos

@@ -38,6 +38,10 @@ public:
 
     void prepare(std::uint64_t n) const override { scratch_.resize(n); }
 
+    void bind_exec(const util::MergeExec& exec) const override { exec_ = exec; }
+
+    bool intra_task_parallel() const override { return exec_.parallel_ok(); }
+
     void run_task(std::span<T> data, std::uint64_t count, std::uint64_t j,
                   sim::OpCounter& ops) const override {
         merge_slice(data, count, j, ops, sim::Pattern::kStrided);
@@ -70,21 +74,39 @@ protected:
     /// scratch, then merge scratch and [mid, hi) back into [lo, hi).
     /// Charges: sz/2 staged words + per output element one compare, one
     /// read, one write.
+    ///
+    /// With a Merge Path binding, a large-enough merge instead stages the
+    /// WHOLE slice in scratch and runs pool-parallel segments back into
+    /// data (the serial in-place walk overlaps its output with the right
+    /// run, which is racy under segment parallelism). Same stable merge
+    /// (ties take the left run in both paths), same output bytes; the
+    /// charges and logs below are closed-form in (sz, lo) and sit outside
+    /// the path choice, so the virtual clock cannot move.
     void merge_slice(std::span<T> data, std::uint64_t count, std::uint64_t j,
                      sim::OpCounter& ops, sim::Pattern pattern) const {
         const std::uint64_t sz = data.size() / count;
         const std::uint64_t lo = j * sz, mid = lo + sz / 2, hi = lo + sz;
         HPU_CHECK(scratch_.size() >= data.size(), "prepare() was not called");
-        T* left = scratch_.data() + lo;
-        std::copy(data.begin() + static_cast<std::ptrdiff_t>(lo),
-                  data.begin() + static_cast<std::ptrdiff_t>(mid), left);
-        std::uint64_t i = 0, r = mid, k = lo;
-        const std::uint64_t nl = mid - lo;
-        while (i < nl && r < hi) {
-            data[k++] = left[i] <= data[r] ? left[i++] : data[r++];
+        const std::size_t parts =
+            exec_.parallel_ok() ? util::merge_parts(sz, exec_.pool) : 1;
+        if (parts > 1) {
+            T* staged = scratch_.data() + lo;
+            std::copy(data.begin() + static_cast<std::ptrdiff_t>(lo),
+                      data.begin() + static_cast<std::ptrdiff_t>(hi), staged);
+            util::merge_segments(exec_.pool, staged, mid - lo, staged + (mid - lo),
+                                 hi - mid, data.data() + lo, std::less<T>{}, parts);
+        } else {
+            T* left = scratch_.data() + lo;
+            std::copy(data.begin() + static_cast<std::ptrdiff_t>(lo),
+                      data.begin() + static_cast<std::ptrdiff_t>(mid), left);
+            std::uint64_t i = 0, r = mid, k = lo;
+            const std::uint64_t nl = mid - lo;
+            while (i < nl && r < hi) {
+                data[k++] = left[i] <= data[r] ? left[i++] : data[r++];
+            }
+            while (i < nl) data[k++] = left[i++];
+            // Tail of the right run is already in place.
         }
-        while (i < nl) data[k++] = left[i++];
-        // Tail of the right run is already in place.
         ops.charge_compute(sz);
         ops.charge_mem(sz / 2 + 2 * sz, pattern);
         // Declared footprint for the race detector: the task reads and
@@ -95,6 +117,7 @@ protected:
     }
 
     mutable std::vector<T> scratch_;
+    mutable util::MergeExec exec_;
 };
 
 template <typename T>
@@ -149,24 +172,37 @@ public:
         const std::uint64_t m = data.size() / in_runs;  // input run length
         const T* src = cur_is_scratch_ ? dscratch_.data() : data.data();
         T* dst = cur_is_scratch_ ? data.data() : dscratch_.data();
-        auto src_at = [&](std::uint64_t run, std::uint64_t k) {
-            return src[k * in_runs + run];
-        };
-        std::uint64_t ia = 0, ib = 0, k = 0;
         const std::uint64_t ra = 2 * j, rb = 2 * j + 1;
-        while (ia < m && ib < m) {
-            const T va = src_at(ra, ia), vb = src_at(rb, ib);
-            if (va <= vb) {
-                dst[k * count + j] = va;
-                ++ia;
-            } else {
-                dst[k * count + j] = vb;
-                ++ib;
+        // Interleave-aware Merge Path: the two input columns and the output
+        // column are strided views over disjoint ping-pong buffers, so the
+        // segments write disjoint output cells. Same stable merge as the
+        // serial walk below (va <= vb takes run A).
+        const std::size_t parts =
+            this->exec_.parallel_ok() ? util::merge_parts(2 * m, this->exec_.pool) : 1;
+        if (parts > 1) {
+            util::merge_segments_strided(
+                this->exec_.pool, util::Strided<const T>{src + ra, in_runs}, m,
+                util::Strided<const T>{src + rb, in_runs}, m,
+                util::Strided<T>{dst + j, count}, std::less<T>{}, parts);
+        } else {
+            auto src_at = [&](std::uint64_t run, std::uint64_t k) {
+                return src[k * in_runs + run];
+            };
+            std::uint64_t ia = 0, ib = 0, k = 0;
+            while (ia < m && ib < m) {
+                const T va = src_at(ra, ia), vb = src_at(rb, ib);
+                if (va <= vb) {
+                    dst[k * count + j] = va;
+                    ++ia;
+                } else {
+                    dst[k * count + j] = vb;
+                    ++ib;
+                }
+                ++k;
             }
-            ++k;
+            while (ia < m) dst[k++ * count + j] = src_at(ra, ia++);
+            while (ib < m) dst[k++ * count + j] = src_at(rb, ib++);
         }
-        while (ia < m) dst[k++ * count + j] = src_at(ra, ia++);
-        while (ib < m) dst[k++ * count + j] = src_at(rb, ib++);
         // 1 compare + 2 coalesced words per output element.
         ops.charge_compute(2 * m);
         ops.charge_mem(4 * m, sim::Pattern::kCoalesced);

@@ -5,6 +5,11 @@
 // cheapest-per-task) merge levels for fewer, fatter base cases. The optimal
 // block size "would have to be determined either analytically or
 // experimentally" (§7) — bench/ablation_blocked sweeps it.
+//
+// Merge levels inherit MergesortPlain::merge_slice, including its Merge
+// Path kernel path (DESIGN.md §15): under a bind_exec binding, large
+// merges run pool-parallel segments. Leaves are untouched — insertion
+// sort on a block has no merge to split.
 #pragma once
 
 #include "algos/mergesort.hpp"

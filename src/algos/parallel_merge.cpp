@@ -6,6 +6,7 @@
 #include "sim/buffer.hpp"
 #include "util/check.hpp"
 #include "util/math.hpp"
+#include "util/merge_path.hpp"
 
 namespace hpu::algos {
 
@@ -42,7 +43,40 @@ ParallelGpuReport mergesort_gpu_parallel(sim::Hpu& hpu, std::span<std::int32_t> 
     std::int32_t* cur = buf.device().data();
     std::int32_t* nxt = scratch.data();
 
+    util::ThreadPool* pool = dev.pool();
     for (std::uint64_t r = 1; r < n; r *= 2) {
+        if (opts.merge_path) {
+            // Merge Path fast path: do the data movement host-side with the
+            // shared merge kernel, then charge the level through an
+            // execution-free launch. Placement is identical — the scatter
+            // kernel below computes the stable-merge rank (lower_bound from
+            // the left run, upper_bound from the right), which is exactly
+            // the permutation the stable segment merge produces — and the
+            // per-item charges are closed-form in r, so LaunchResult and
+            // rep.sort_time are bit-identical to the kernel-off loop.
+            const std::uint64_t pairs = n / (2 * r);
+            auto merge_pair = [&](std::uint64_t pair, std::size_t parts) {
+                util::merge_segments(pool, cur + pair * 2 * r, r, cur + pair * 2 * r + r, r,
+                                     nxt + pair * 2 * r, std::less<std::int32_t>{}, parts);
+            };
+            if (pool != nullptr && pool->worker_count() > 0 &&
+                pairs > pool->worker_count()) {
+                // Wide level: parallelize across pairs, serial within each.
+                pool->parallel_for(pairs, [&](std::size_t pair) { merge_pair(pair, 1); });
+            } else {
+                // Few big pairs: parallelize within each merge instead.
+                for (std::uint64_t pair = 0; pair < pairs; ++pair) {
+                    merge_pair(pair, util::merge_parts(2 * r, pool));
+                }
+            }
+            const auto launch = dev.launch(n, [&](sim::WorkItem& wi) {
+                wi.charge_compute(1 + util::ilog2(r) + 1);
+                wi.charge_mem(2, sim::Pattern::kCoalesced);
+            });
+            rep.sort_time += launch.time;
+            std::swap(cur, nxt);
+            continue;
+        }
         const auto launch = dev.launch(n, [&](sim::WorkItem& wi) {
             const std::uint64_t t = wi.global_id();
             const std::uint64_t run = t / r;         // index of my run

@@ -59,6 +59,11 @@ inline bool env_profile_default() { return analysis::env_flag_enabled("HPU_PROFI
 /// HPU_OBSERVE environment default for ExecOptions::observe.
 inline bool env_observe_default() { return analysis::env_flag_enabled("HPU_OBSERVE"); }
 
+/// HPU_MERGE_PATH environment default for ExecOptions::merge_path. Unlike
+/// the validation flags this one defaults ON (it is a pure wall-clock
+/// optimization); set HPU_MERGE_PATH=0 to disable.
+inline bool env_merge_path_default() { return util::merge_path_env_default(); }
+
 /// Execution knobs shared by all executors.
 struct ExecOptions {
     /// Functional mode runs task bodies on real data (results verifiable);
@@ -108,6 +113,13 @@ struct ExecOptions {
     bool observe = env_observe_default();
     /// Thresholds the observation's watchdog checks against.
     obs::WatchdogThresholds watchdog;
+    /// Let functional task bodies split large merges into Merge Path
+    /// segments across the host pool (DESIGN.md §15). Wall-clock only:
+    /// ExecReports, traces, outputs, and analysis findings are
+    /// bit-identical on or off (enforced by tests/merge_path_test.cpp).
+    /// No effect in analytic mode or without a pool. Defaults from
+    /// HPU_MERGE_PATH (on unless "0"/"off"/"false"/"no").
+    bool merge_path = env_merge_path_default();
 };
 
 /// Where time went; every executor fills one of these.
@@ -199,6 +211,19 @@ inline ValCtx validation_ctx(const ExecOptions& opts, ExecReport& rep) {
     v.cert = &rep.verify;
     v.race = opts.race;
     return v;
+}
+
+/// Binds the run's Merge Path context onto the algorithm, right after
+/// prepare(): the functional pool when the kernel is enabled for this run,
+/// a null binding otherwise. Every executor entry point calls this, so a
+/// single ExecOptions flag (or HPU_MERGE_PATH) governs all six executors.
+template <typename T>
+void bind_merge_exec(const LevelAlgorithm<T>& alg, util::ThreadPool* pool,
+                     const ExecOptions& opts) {
+    util::MergeExec ex;
+    ex.kernel = opts.merge_path && opts.functional;
+    ex.pool = ex.kernel ? pool : nullptr;
+    alg.bind_exec(ex);
 }
 
 /// Race-checks one functional launch: launches whose phase the static pass
@@ -369,7 +394,7 @@ sim::Ticks functional_cpu_level(sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg,
         r = cpu.run_level(
             tasks,
             [&](std::uint64_t j, sim::OpCounter& ops) { alg.run_task(data, tasks, j, ops); },
-            alg.level_working_set_bytes(data.size()), opts.order);
+            alg.level_working_set_bytes(data.size()), opts.order, alg.intra_task_parallel());
     } else {
         std::vector<sim::ItemAccessLog> logs(tasks);
         r = cpu.run_level(
@@ -378,7 +403,7 @@ sim::Ticks functional_cpu_level(sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg,
                 ops.trace = &logs[j];
                 alg.run_task(data, tasks, j, ops);
             },
-            alg.level_working_set_bytes(data.size()), opts.order);
+            alg.level_working_set_bytes(data.size()), opts.order, alg.intra_task_parallel());
         check_launch(alg, verify::Phase::kCpuTask, logs, cpu.params().p,
                      data.size() / tasks, launch_label(alg.name(), "cpu-level", tasks), val);
     }
@@ -403,16 +428,22 @@ sim::Ticks functional_gpu_level(sim::Device& dev, const LevelAlgorithm<T>& alg,
     WaveTraceGuard guard(dev, tc.on() ? &waves : nullptr);
     sim::LaunchResult r;
     if (!val.on()) {
-        r = dev.launch(tasks, [&](sim::WorkItem& wi) {
-            alg.run_device_task(device_data, tasks, wi.global_id(), wi.ops());
-        });
+        r = dev.launch(
+            tasks,
+            [&](sim::WorkItem& wi) {
+                alg.run_device_task(device_data, tasks, wi.global_id(), wi.ops());
+            },
+            alg.intra_task_parallel());
     } else {
         std::vector<sim::ItemAccessLog> logs(tasks);
         const std::vector<T> before(device_data.begin(), device_data.end());
-        r = dev.launch(tasks, [&](sim::WorkItem& wi) {
-            wi.ops().trace = &logs[wi.global_id()];
-            alg.run_device_task(device_data, tasks, wi.global_id(), wi.ops());
-        });
+        r = dev.launch(
+            tasks,
+            [&](sim::WorkItem& wi) {
+                wi.ops().trace = &logs[wi.global_id()];
+                alg.run_device_task(device_data, tasks, wi.global_id(), wi.ops());
+            },
+            alg.intra_task_parallel());
         const std::string label = launch_label(alg.name(), "gpu-level", tasks);
         check_launch(alg, verify::Phase::kDeviceTask, logs, dev.params().g,
                      device_data.size() / tasks, label, val);
@@ -676,6 +707,7 @@ ExecReport run_sequential(sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg, std::
     }
     const std::uint64_t L = detail::level_count(alg, data.size());
     alg.prepare(data.size());
+    detail::bind_merge_exec(alg, cpu.pool(), opts);
     sim::CpuParams one_core = cpu.params();
     one_core.p = 1;
     one_core.contention = 0.0;  // a single core does not compete with itself
@@ -726,6 +758,7 @@ ExecReport run_multicore(sim::CpuUnit& cpu, const LevelAlgorithm<T>& alg, std::s
     }
     const std::uint64_t L = detail::level_count(alg, data.size());
     alg.prepare(data.size());
+    detail::bind_merge_exec(alg, cpu.pool(), opts);
     ExecReport rep;
     rep.trace = opts.trace;
     if (opts.verify) {
@@ -766,6 +799,7 @@ ExecReport run_gpu(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std::span<T> dat
     }
     const std::uint64_t L = detail::level_count(alg, data.size());
     alg.prepare(data.size());
+    detail::bind_merge_exec(alg, hpu.cpu().pool(), opts);
     sim::Device& dev = hpu.gpu();
     ExecReport rep;
     rep.trace = opts.trace;

@@ -130,6 +130,7 @@ ExecReport run_basic_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std::sp
     }
     const auto shape = detail::shape_of(alg, data.size());
     alg.prepare(data.size());
+    detail::bind_merge_exec(alg, hpu.cpu().pool(), opts);
     const auto& hw = hpu.params();
     ExecReport rep;
     rep.trace = opts.trace;
@@ -294,8 +295,9 @@ ExecReport run_advanced_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std:
     HPU_CHECK(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
     const auto shape = detail::shape_of(alg, data.size());
     alg.prepare(data.size());
-    HPU_CHECK(y >= 1 && y <= shape.L, "transfer level y must be in [1, L]");
     const ExecOptions& opts = adv.exec;
+    detail::bind_merge_exec(alg, hpu.cpu().pool(), opts);
+    HPU_CHECK(y >= 1 && y <= shape.L, "transfer level y must be in [1, L]");
     sim::Device& dev = hpu.gpu();
     ExecReport rep;
     rep.trace = opts.trace;

@@ -110,6 +110,7 @@ ExecReport run_irregular(sim::CpuUnit& cpu, sim::Device* dev, const sim::HpuPara
         mode == IrregularMode::kSequential || mode == IrregularMode::kMulticore;
     HPU_CHECK(cpu_only || dev != nullptr, "gpu/hybrid irregular modes need a device");
     alg.prepare(n);
+    detail::bind_merge_exec(alg, cpu.pool(), opts);
 
     ExecReport rep;
     rep.trace = opts.trace;
@@ -191,7 +192,7 @@ ExecReport run_irregular(sim::CpuUnit& cpu, sim::Device* dev, const sim::HpuPara
                 if (!logs.empty()) ops.trace = &logs[j];
                 body(j, ops);
             },
-            alg.level_working_set_bytes(cpu_words), opts.order);
+            alg.level_working_set_bytes(cpu_words), opts.order, alg.intra_task_parallel());
         rep.cpu_busy += r.time;
         ++rep.levels_cpu;
         if (tc.on()) {
@@ -238,11 +239,14 @@ ExecReport run_irregular(sim::CpuUnit& cpu, sim::Device* dev, const sim::HpuPara
             const std::uint64_t w0 = tg.wall_start();
             std::vector<sim::WaveTrace> waves;
             detail::WaveTraceGuard guard(*dev, tg.on() ? &waves : nullptr);
-            const sim::LaunchResult r = dev->launch(ce - cb, [&](sim::WorkItem& wi) {
-                const std::uint64_t j = cb + wi.global_id();
-                if (!logs.empty()) wi.ops().trace = &logs[j];
-                body(j, wi.ops());
-            });
+            const sim::LaunchResult r = dev->launch(
+                ce - cb,
+                [&](sim::WorkItem& wi) {
+                    const std::uint64_t j = cb + wi.global_id();
+                    if (!logs.empty()) wi.ops().trace = &logs[j];
+                    body(j, wi.ops());
+                },
+                alg.intra_task_parallel());
             rep.gpu_busy += r.time;
             gpu_end = start + r.time;
             if (tg.on()) {

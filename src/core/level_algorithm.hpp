@@ -24,6 +24,7 @@
 #include "sim/params.hpp"
 #include "util/check.hpp"
 #include "util/math.hpp"
+#include "util/merge_path.hpp"
 #include "verify/footprint.hpp"
 
 namespace hpu::core {
@@ -108,6 +109,21 @@ public:
     /// Host-side preparation before any executor run (e.g., sizing scratch
     /// space). Executors call this once with the full input size.
     virtual void prepare(std::uint64_t /*n*/) const {}
+
+    /// Binds the run's merge-kernel context (DESIGN.md §15): the functional
+    /// pool plus whether ExecOptions enabled the Merge Path kernel.
+    /// Executors call this right after prepare(). Strictly wall-side: an
+    /// implementation may use the binding to run its merges faster, but
+    /// its charges, logs, and output bytes must be bit-identical with any
+    /// binding (including the default no-op).
+    virtual void bind_exec(const util::MergeExec& /*exec*/) const {}
+
+    /// True when this algorithm's task bodies can split their own work
+    /// across the bound pool (e.g., Merge Path segments). Executors then
+    /// run levels narrower than the pool inline, freeing the workers for
+    /// the intra-task parallelism. Must depend only on the bind_exec
+    /// binding — never on data — so the virtual clock stays untouched.
+    virtual bool intra_task_parallel() const { return false; }
 
     /// Device-side hook after the last GPU level, before readback.
     virtual void after_gpu_levels(std::span<T> /*device_data*/, std::uint64_t /*count*/,

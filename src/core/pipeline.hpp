@@ -83,8 +83,9 @@ ExecReport run_pipelined_hybrid(sim::Hpu& hpu, const LevelAlgorithm<T>& alg, std
     HPU_CHECK(pip.chunks >= 1, "need at least one chunk");
     const auto shape = detail::shape_of(alg, data.size());
     alg.prepare(data.size());
-    HPU_CHECK(y >= 1 && y <= shape.L, "transfer level y must be in [1, L]");
     const ExecOptions& opts = pip.exec;
+    detail::bind_merge_exec(alg, hpu.cpu().pool(), opts);
+    HPU_CHECK(y >= 1 && y <= shape.L, "transfer level y must be in [1, L]");
     sim::Device& dev = hpu.gpu();
     ExecReport rep;
     rep.trace = opts.trace;

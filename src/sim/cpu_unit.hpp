@@ -43,15 +43,25 @@ public:
     /// Runs `n_tasks` invocations of `task` (callable taking (index,
     /// OpCounter&)) on p virtual cores. `working_set_bytes` feeds the
     /// optional LLC contention penalty (0 = unknown/none).
+    ///
+    /// `tasks_use_pool` declares that the task bodies can split their own
+    /// work across the pool (LevelAlgorithm::intra_task_parallel). A level
+    /// narrower than the pool then runs inline so the workers serve the
+    /// merges *inside* the few tasks instead of idling — near the tree
+    /// root that is the only parallelism available. Wall-clock only: the
+    /// inline fold below is bit-identical to the pooled one.
     template <typename Task>
     LevelResult run_level(std::uint64_t n_tasks, Task&& task, std::uint64_t working_set_bytes = 0,
-                          util::ListOrder order = util::ListOrder::kArrival) {
+                          util::ListOrder order = util::ListOrder::kArrival,
+                          bool tasks_use_pool = false) {
         LevelResult r;
         r.tasks = n_tasks;
         if (n_tasks == 0) return r;
         trace::count(trace::counters().cpu_levels);
         costs_.resize(n_tasks);  // reusable arena: no per-level allocation
-        if (pool_ != nullptr && pool_->worker_count() > 0) {
+        const bool pooled = pool_ != nullptr && pool_->worker_count() > 0 &&
+                            !(tasks_use_pool && n_tasks <= pool_->worker_count());
+        if (pooled) {
             // Every task charges into its own arena slot; the full
             // OpCounters are folded in index order after the parallel
             // section, so the per-category split (compute / coalesced /

@@ -103,8 +103,14 @@ public:
     /// WorkItem&). Items run functionally on the host; virtual time follows
     /// the wave model. Exceptions from kernel bodies propagate to the
     /// caller after no further items are run.
+    ///
+    /// `items_use_pool` declares that the kernel bodies can split their own
+    /// work across the host pool (LevelAlgorithm::intra_task_parallel): a
+    /// wave narrower than the pool then runs inline so the workers serve
+    /// the merges *inside* the few items. Wall-clock only — the serial
+    /// fold is bit-identical to the pooled one.
     template <typename Kernel>
-    LaunchResult launch(std::uint64_t n_items, Kernel&& kernel) {
+    LaunchResult launch(std::uint64_t n_items, Kernel&& kernel, bool items_use_pool = false) {
         HPU_CHECK(n_items >= 1, "kernel launch needs at least one work-item");
         LaunchResult r;
         r.items = n_items;
@@ -117,7 +123,8 @@ public:
             const std::uint64_t wave_end = std::min(n_items, (w + 1) * params_.g);
             double wave_max_ops = 0.0;
             OpCounter wave_ops;
-            if (pooled && wave_end - wave_begin > 1) {
+            if (pooled && wave_end - wave_begin > 1 &&
+                !(items_use_pool && wave_end - wave_begin <= pool_->worker_count())) {
                 // Host-parallel wave: every item charges into its own arena
                 // slot, then the slots are folded in index order — the same
                 // max/sum sequence the serial loop below produces, so the

@@ -1,0 +1,22 @@
+#include "util/merge_path.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace hpu::util {
+
+std::size_t merge_parts(std::size_t total, const ThreadPool* pool) {
+    if (pool == nullptr || pool->worker_count() == 0 || pool->in_batch()) return 1;
+    if (total < kMinParallelMerge) return 1;
+    const std::size_t participants = pool->worker_count() + 1;
+    return std::max<std::size_t>(1, std::min(participants, total / kMinMergeSegment));
+}
+
+bool merge_path_env_default() {
+    const char* v = std::getenv("HPU_MERGE_PATH");
+    if (v == nullptr) return true;
+    const std::string s(v);
+    return !(s == "0" || s == "off" || s == "false" || s == "no");
+}
+
+}  // namespace hpu::util

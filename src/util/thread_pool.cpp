@@ -130,6 +130,7 @@ void ThreadPool::run_batch(std::size_t count, std::size_t grain, RangeFn invoke,
         std::lock_guard lock(mu_);
         HPU_CHECK(batch_ == nullptr, "parallel_for is not reentrant");
         batch_ = &b;
+        in_batch_.store(true, std::memory_order_relaxed);
     }
     batches_.fetch_add(1, std::memory_order_relaxed);
     work_cv_.notify_all();
@@ -138,6 +139,7 @@ void ThreadPool::run_batch(std::size_t count, std::size_t grain, RangeFn invoke,
         std::unique_lock lock(mu_);
         done_cv_.wait(lock, [&b] { return b.done == b.count && b.active == 0; });
         batch_ = nullptr;
+        in_batch_.store(false, std::memory_order_relaxed);
     }
     if (b.error) std::rethrow_exception(b.error);
 }

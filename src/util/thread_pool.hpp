@@ -101,6 +101,12 @@ public:
 
     std::size_t worker_count() const noexcept { return threads_.size(); }
 
+    /// True while a parallel_for batch is in flight. Task bodies consult
+    /// this (via util::merge_parts) before splitting their own work across
+    /// the pool: submitting from inside a batch is not allowed, so a
+    /// mid-batch caller must fall back to its serial path.
+    bool in_batch() const noexcept { return in_batch_.load(std::memory_order_relaxed); }
+
     /// Runs fn(i) for i in [0, count) across the pool and blocks until all
     /// complete. Rethrows the first task exception on the caller (later
     /// chunks are skipped once a failure is recorded; chunks already
@@ -181,6 +187,7 @@ private:
     std::condition_variable work_cv_;   // signals workers: batch available / shutdown
     std::condition_variable done_cv_;   // signals submitter: batch complete
     Batch* batch_ = nullptr;            // non-null while a batch is in flight
+    std::atomic<bool> in_batch_{false};  // mirrors batch_ for lock-free reads
     bool stop_ = false;
 
     // Telemetry (always on; relaxed atomics off the virtual-clock path).
