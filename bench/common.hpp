@@ -19,6 +19,10 @@
 //                    chrome://tracing)
 //   --utilization    derive and print the utilization / model-drift report
 //                    from the same trace
+//   --critpath       extract and print each traced run's critical path
+//                    (obs/critpath.hpp) and, with --trace, annotate the
+//                    exported JSON so chrome://tracing highlights the
+//                    chain as a connected flow
 //   --pipeline=<K>   also run the pipelined hybrid (§9) with K transfer
 //                    chunks where the bench supports it (0 = off; the
 //                    scheduler's no-win guard may still fall back to K=1)
@@ -45,6 +49,7 @@
 #include "core/pipeline.hpp"
 #include "model/advanced.hpp"
 #include "model/pipeline.hpp"
+#include "obs/critpath.hpp"
 #include "platforms/platforms.hpp"
 #include "trace/export.hpp"
 #include "trace/utilization.hpp"
@@ -142,21 +147,33 @@ class TraceSink {
 public:
     explicit TraceSink(const util::Cli& cli)
         : path_(out_path(cli, cli.get("trace", ""))),
-          utilization_(cli.get_bool("utilization", false)) {}
+          utilization_(cli.get_bool("utilization", false)),
+          critpath_(cli.get_bool("critpath", false)) {}
 
     /// Non-null when the user asked for any trace output.
     trace::TraceSession* session() { return active() ? &session_ : nullptr; }
-    bool active() const noexcept { return !path_.empty() || utilization_; }
+    bool active() const noexcept { return !path_.empty() || utilization_ || critpath_; }
 
-    /// Exports --trace JSON and/or prints the --utilization report. `rec`
-    /// and `mult` must describe the traced algorithm, `hw` the platform of
-    /// the traced run.
+    /// Exports --trace JSON (with --critpath: the chain annotated as a
+    /// Chrome flow) and/or prints the --utilization / --critpath reports.
+    /// `rec` and `mult` must describe the traced algorithm, `hw` the
+    /// platform of the traced run.
     void finish(const sim::HpuParams& hw, const model::Recurrence& rec, double mult = 1.0) {
         if (!active() || session_.empty()) return;
+        trace::ChromeExtras extras;
+        if (critpath_) {
+            for (trace::SpanId root : session_.children(trace::kNoSpan)) {
+                const obs::CritPathReport rep = obs::extract_critical_path(session_, root);
+                std::cout << "\n";
+                rep.print(std::cout);
+                obs::add_to_extras(extras, rep);
+            }
+        }
         if (!path_.empty()) {
-            if (trace::write_chrome_file(session_, path_)) {
+            if (trace::write_chrome_file(session_, path_, extras)) {
                 std::cout << "\ntrace: " << session_.spans().size() << " spans -> " << path_
-                          << " (load in Perfetto / chrome://tracing)\n";
+                          << " (load in Perfetto / chrome://tracing"
+                          << (extras.empty() ? "" : "; critical path annotated") << ")\n";
             } else {
                 std::cerr << "\ntrace: cannot write " << path_ << "\n";
             }
@@ -170,6 +187,7 @@ public:
 private:
     std::string path_;
     bool utilization_ = false;
+    bool critpath_ = false;
     trace::TraceSession session_;
 };
 

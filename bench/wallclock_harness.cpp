@@ -35,6 +35,9 @@
 //                  --profile-out=<f>  (default PROFILE_wallclock.json)
 //                  --prom-out=<f>     (default METRICS_wallclock.prom,
 //                  Prometheus text format: pool telemetry + sim counters)
+//   --critpath     with --profile: print each profiled run's critical-path
+//                  report and annotate the --trace-out export so
+//                  chrome://tracing highlights the chain as a flow
 //
 // Runs are functional by definition here (--functional is implied): the
 // analytic fast path executes no task bodies, so there is nothing for a
@@ -284,10 +287,23 @@ int main(int argc, char** argv) {
         } else {
             std::cerr << "cannot write " << prom_out << "\n";
         }
-        if (trace::write_chrome_file(ts, trace_out)) {
+        // --critpath: per-executor critical paths (the observatory's own
+        // rep.critpath covers the whole session; this breaks it down per
+        // run) plus the chain annotations in the exported trace.
+        trace::ChromeExtras extras;
+        if (cli.get_bool("critpath", false)) {
+            for (trace::SpanId root : ts.children(trace::kNoSpan)) {
+                const obs::CritPathReport crep = obs::extract_critical_path(ts, root);
+                std::cout << "\n";
+                crep.print(std::cout);
+                obs::add_to_extras(extras, crep);
+            }
+        }
+        if (trace::write_chrome_file(ts, trace_out, extras)) {
             std::cout << "trace -> " << trace_out << " (" << ts.spans().size()
-                      << " spans, wall-annotated; diff against a prior run "
-                         "with examples/run_diff)\n";
+                      << " spans, wall-annotated"
+                      << (extras.empty() ? "" : ", critical paths annotated")
+                      << "; diff against a prior run with examples/run_diff)\n";
         } else {
             std::cerr << "cannot write " << trace_out << "\n";
         }

@@ -1,0 +1,128 @@
+// Critical-path extraction of hpu::obs (DESIGN.md §16): reconstruct the
+// precedence chain that bounds a recorded run's makespan and attribute it
+// to resources.
+//
+// A recorded span tree already encodes the schedule the executor computed:
+// run → phase → level/leaves/hook/transfer spans with virtual start/end
+// ticks (waves duplicate their level and are skipped). The critical path
+// is recovered by walking backwards from the run's end tick: at every
+// instant the chain stands on the *latest-finishing work span* that ends at
+// (or before) the current frontier, so concurrent phases contribute only
+// the arm that actually delayed the finish. Gaps where no work span ends
+// are pool idle — the executor was waiting on something the trace does not
+// price (by construction only the makespan's own slack).
+//
+// The resulting CritPathReport carries the ordered chain, per-resource
+// blame shares (cpu / gpu lanes / link / hook bodies / idle) that sum to 1
+// over the makespan, per-(unit, level) slack against the phase sync points,
+// and the single dominant resource. It is attached to ExecReport::obs
+// under ExecOptions::observe, published as hpu_critpath_* gauges, and
+// exportable as a highlighted Chrome-trace flow (chrome_extras).
+//
+// Same discipline as the rest of hpu::obs: strictly read-only over the
+// session, computed after the last tick, never perturbs the run.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/params.hpp"
+#include "trace/export.hpp"
+#include "trace/span.hpp"
+
+namespace hpu::obs {
+
+/// The resource a critical-path step blames its ticks on.
+enum class CritResource : std::uint8_t {
+    kCpu,   ///< CPU level / leaf sweep ticks
+    kGpu,   ///< GPU level / leaf sweep ticks (lane-bound kernel time)
+    kLink,  ///< CPU<->GPU transfer ticks
+    kHook,  ///< device/host hook bodies (layout pre-passes, flips)
+    kIdle,  ///< makespan not covered by any work span (pool idle / waits)
+};
+
+const char* to_string(CritResource r) noexcept;
+
+/// One step on the critical path, in chain (time) order.
+struct CritStep {
+    trace::SpanId id = trace::kNoSpan;
+    trace::SpanKind kind = trace::SpanKind::kLevel;
+    trace::Unit unit = trace::Unit::kHost;
+    CritResource resource = CritResource::kCpu;
+    std::string label;
+    sim::Ticks start = 0.0;
+    sim::Ticks end = 0.0;
+    /// Global recursion-tree level (SpanAttrs::kNoLevel when not a level).
+    std::uint64_t level = trace::SpanAttrs::kNoLevel;
+    /// Idle ticks between the previous step's end and this step's start.
+    sim::Ticks gap_before = 0.0;
+
+    sim::Ticks duration() const noexcept { return end - start; }
+};
+
+/// Busy vs critical ticks for one (unit, level) row, with the slack that
+/// row had against its phase's sync point. slack == 0 for rows that carry
+/// the chain — shortening them moves the makespan; rows with positive
+/// slack can absorb that much slowdown for free.
+struct LevelSlack {
+    trace::Unit unit = trace::Unit::kCpu;
+    std::uint64_t level = trace::SpanAttrs::kNoLevel;  ///< kNoLevel = leaves/hooks/transfers
+    std::string label;     ///< canonical label of the row's spans
+    sim::Ticks busy = 0.0;      ///< summed span durations on the row
+    sim::Ticks critical = 0.0;  ///< ticks of the row's spans on the chain
+    sim::Ticks slack = 0.0;     ///< min distance to the governing sync point
+};
+
+/// Blame decomposition of one run's makespan.
+struct CritPathReport {
+    bool attempted = false;          ///< a run root was found and walked
+    trace::SpanId run = trace::kNoSpan;
+    std::string run_label;
+    sim::Ticks start = 0.0;          ///< run start tick
+    sim::Ticks makespan = 0.0;       ///< run end - run start
+    std::vector<CritStep> chain;     ///< the critical path, time order
+
+    /// Per-resource blame over the makespan; the five shares sum to 1
+    /// (within a few ulp) whenever makespan > 0.
+    sim::Ticks cpu_ticks = 0.0;
+    sim::Ticks gpu_ticks = 0.0;
+    sim::Ticks link_ticks = 0.0;
+    sim::Ticks hook_ticks = 0.0;
+    sim::Ticks idle_ticks = 0.0;
+    double cpu_share = 0.0;
+    double gpu_share = 0.0;
+    double link_share = 0.0;
+    double hook_share = 0.0;
+    double idle_share = 0.0;
+
+    CritResource dominant = CritResource::kIdle;
+    double dominant_share = 0.0;
+
+    std::vector<LevelSlack> slack;   ///< per-(unit, level, label) rows
+
+    double share_of(CritResource r) const noexcept;
+    sim::Ticks ticks_of(CritResource r) const noexcept;
+
+    /// Chain table, blame shares, dominant resource, slack rows.
+    void print(std::ostream& os) const;
+};
+
+/// Extracts the critical path of the run rooted at `run_root` (kNoSpan =
+/// the first root span of the session). Read-only; returns an
+/// un-attempted report when the session is empty or the root is invalid.
+CritPathReport extract_critical_path(const trace::TraceSession& session,
+                                     trace::SpanId run_root = trace::kNoSpan);
+
+/// Merges one report's highlight into a Chrome-export decoration: each
+/// chain span gets a 1-based "crit" index arg, the run root gets the chain
+/// length and the five blame shares, and consecutive chain spans are
+/// connected by flow arrows. Call once per run root to decorate a
+/// multi-run session.
+void add_to_extras(trace::ChromeExtras& extras, const CritPathReport& rep);
+
+/// Convenience: a fresh ChromeExtras holding one report's highlight.
+trace::ChromeExtras chrome_extras(const CritPathReport& rep);
+
+}  // namespace hpu::obs

@@ -56,12 +56,17 @@ struct DiffBuilder {
         : base(b), cand(c), opts(o), base_children(child_index(b)),
           cand_children(child_index(c)) {}
 
-    /// Sums durations / wall over a span-id list on one session.
+    /// Sums durations / wall / irregular-shape attrs over a span-id list on
+    /// one session (extent words sum; imbalance keeps the worst skew).
     static void sum_side(const TraceSession& s, const std::vector<SpanId>& ids,
-                         sim::Ticks& ticks, std::uint64_t& wall) {
+                         sim::Ticks& ticks, std::uint64_t& wall, std::uint64_t& extent,
+                         double& imbalance) {
         for (SpanId id : ids) {
-            ticks += s.span(id).duration();
-            wall += s.span(id).wall_ns;
+            const Span& sp = s.span(id);
+            ticks += sp.duration();
+            wall += sp.wall_ns;
+            extent += sp.attrs.extent_words;
+            imbalance = std::max(imbalance, sp.attrs.imbalance);
         }
     }
 
@@ -81,16 +86,22 @@ struct DiffBuilder {
         e.side = side;
         sim::Ticks ticks = 0.0;
         std::uint64_t wall = 0;
-        sum_side(s, ids, ticks, wall);
+        std::uint64_t extent = 0;
+        double imbalance = 0.0;
+        sum_side(s, ids, ticks, wall, extent, imbalance);
         if (side == DiffSide::kBaseOnly) {
             e.base_spans = ids.size();
             e.base_ticks = ticks;
             e.base_wall_ns = wall;
+            e.base_extent_words = extent;
+            e.base_imbalance = imbalance;
             e.delta = -ticks;
         } else {
             e.cand_spans = ids.size();
             e.cand_ticks = ticks;
             e.cand_wall_ns = wall;
+            e.cand_extent_words = extent;
+            e.cand_imbalance = imbalance;
             e.delta = ticks;
         }
         e.self_delta = e.delta;
@@ -145,8 +156,10 @@ struct DiffBuilder {
             e.depth = depth;
             e.base_spans = b_ids.size();
             e.cand_spans = c_ids.size();
-            sum_side(base, b_ids, e.base_ticks, e.base_wall_ns);
-            sum_side(cand, c_ids, e.cand_ticks, e.cand_wall_ns);
+            sum_side(base, b_ids, e.base_ticks, e.base_wall_ns, e.base_extent_words,
+                     e.base_imbalance);
+            sum_side(cand, c_ids, e.cand_ticks, e.cand_wall_ns, e.cand_extent_words,
+                     e.cand_imbalance);
             e.delta = e.cand_ticks - e.base_ticks;
             level_delta += e.delta;
             const std::size_t at = out.entries.size();
@@ -184,6 +197,10 @@ struct DiffBuilder {
             e.cand_ticks = cr.duration();
             e.base_wall_ns = br.wall_ns;
             e.cand_wall_ns = cr.wall_ns;
+            e.base_extent_words = br.attrs.extent_words;
+            e.cand_extent_words = cr.attrs.extent_words;
+            e.base_imbalance = br.attrs.imbalance;
+            e.cand_imbalance = cr.attrs.imbalance;
             e.delta = e.cand_ticks - e.base_ticks;
             const std::size_t at = out.entries.size();
             // Copy the path before recursing: diff_children grows
@@ -287,15 +304,30 @@ void TraceDiff::print_markdown(std::ostream& os, std::size_t top_k) const {
        << " ticks (Δ " << delta();
     if (base_total > 0.0) os << ", " << (delta() / base_total * 100.0) << "%";
     os << "; " << structural << " structural)\n\n";
-    os << "| span | side | base | cand | Δ | self Δ |\n";
-    os << "|---|---|---:|---:|---:|---:|\n";
+    os << "| span | side | base | cand | Δ | self Δ | extent Δ | imbalance |\n";
+    os << "|---|---|---:|---:|---:|---:|---:|---:|\n";
     const auto top = explain(top_k);
     for (const DiffEntry* e : top) {
         os << "| `" << e->path << "` | " << to_string(e->side) << " | " << e->base_ticks
            << " | " << e->cand_ticks << " | " << e->delta << " | " << e->self_delta
-           << " |\n";
+           << " | ";
+        // Irregular-tree shape: words the level's extents cover and the
+        // extent skew, present only on dynamic-task-list traces.
+        if (e->base_extent_words == 0 && e->cand_extent_words == 0) {
+            os << "-";
+        } else {
+            os << (static_cast<std::int64_t>(e->cand_extent_words) -
+                   static_cast<std::int64_t>(e->base_extent_words));
+        }
+        os << " | ";
+        if (e->base_imbalance == 0.0 && e->cand_imbalance == 0.0) {
+            os << "-";
+        } else {
+            os << e->base_imbalance << "→" << e->cand_imbalance;
+        }
+        os << " |\n";
     }
-    if (top.empty()) os << "| (no divergence) | both | - | - | 0 | 0 |\n";
+    if (top.empty()) os << "| (no divergence) | both | - | - | 0 | 0 | - | - |\n";
 }
 
 TraceDiff diff_traces(const trace::TraceSession& base, const trace::TraceSession& cand,

@@ -66,6 +66,14 @@ struct DiffEntry {
     sim::Ticks delta = 0.0;       ///< cand − base (one-sided: signed subtree)
     std::uint64_t base_wall_ns = 0;
     std::uint64_t cand_wall_ns = 0;
+    /// Irregular-tree shape (core/irregular.hpp), carried so a quickhull
+    /// diff can attribute a delta to a wider/more skewed level: summed
+    /// extent words and the worst extent skew over the group's spans.
+    /// Regular executors leave these at 0 / 0.0.
+    std::uint64_t base_extent_words = 0;
+    std::uint64_t cand_extent_words = 0;
+    double base_imbalance = 0.0;
+    double cand_imbalance = 0.0;
     /// delta − Σ child-entry deltas: the divergence born at this span.
     /// Structural entries own their whole subtree (self_delta == delta).
     sim::Ticks self_delta = 0.0;

@@ -91,6 +91,48 @@ void check_pool(ObsReport& rep, const ObserveContext& ctx) {
     }
 }
 
+/// Escalates a drifted parameter estimate to a bottleneck finding when the
+/// resource that parameter governs also dominates the critical path: "the
+/// model is wrong exactly where the time goes". CPU and idle dominance
+/// have no identifiable machine parameter, so they never escalate.
+void check_critpath(ObsReport& rep, const WatchdogThresholds& th) {
+    const CritPathReport& cp = rep.critpath;
+    if (!cp.attempted || cp.dominant_share < th.crit_share) return;
+    const ParamEstimate* worst = nullptr;
+    switch (cp.dominant) {
+        case CritResource::kGpu:
+        case CritResource::kHook:
+            for (const ParamEstimate* e : {&rep.fit.gamma, &rep.fit.g}) {
+                if (!e->identifiable) continue;
+                if (worst == nullptr ||
+                    std::abs(e->drift - 1.0) > std::abs(worst->drift - 1.0)) {
+                    worst = e;
+                }
+            }
+            break;
+        case CritResource::kLink:
+            for (const ParamEstimate* e : {&rep.fit.lambda, &rep.fit.delta}) {
+                if (!e->identifiable) continue;
+                if (worst == nullptr ||
+                    std::abs(e->drift - 1.0) > std::abs(worst->drift - 1.0)) {
+                    worst = e;
+                }
+            }
+            break;
+        case CritResource::kCpu:
+        case CritResource::kIdle:
+            return;
+    }
+    if (worst == nullptr) return;
+    const double dev = std::abs(worst->drift - 1.0);
+    if (dev <= th.param_drift) return;
+    add_finding(rep, FindingKind::kCritBottleneck,
+                std::string(to_string(cp.dominant)) + " is " +
+                    fmt(cp.dominant_share * 100.0) + "% of the critical path and " +
+                    worst->name + " drifted " + fmt(worst->drift) + "x",
+                cp.dominant_share, th.crit_share);
+}
+
 void check_pipeline(ObsReport& rep, const ObserveContext& ctx) {
     if (ctx.requested_chunks > 1 && ctx.settled_chunks <= 1) {
         add_finding(rep, FindingKind::kPipelineFallback,
@@ -120,6 +162,7 @@ const char* to_string(FindingKind kind) noexcept {
         case FindingKind::kPoolInefficiency: return "pool-inefficiency";
         case FindingKind::kSubmitLatency: return "submit-latency";
         case FindingKind::kPipelineFallback: return "pipeline-fallback";
+        case FindingKind::kCritBottleneck: return "crit-bottleneck";
     }
     return "?";
 }
@@ -132,6 +175,11 @@ void ObsReport::print(std::ostream& os) const {
     os << "parameter re-fit:\n";
     fit.print(os);
     os << util.summary() << "\n";
+    if (critpath.attempted) {
+        os << "critical path: dominant " << to_string(critpath.dominant) << " ("
+           << critpath.dominant_share * 100.0 << "% of makespan, "
+           << critpath.chain.size() << " step(s))\n";
+    }
     if (clean()) {
         os << "watchdog: clean\n";
         return;
@@ -160,9 +208,13 @@ ObsReport observe(const trace::TraceSession& session, trace::SpanId run_root,
     rep.attempted = true;
     rep.fit = estimate_params(*scope, ctx.hw);
     rep.util = trace::derive_utilization(*scope, ctx.hw, ctx.rec, ctx.device_ops_multiplier);
+    // Critical path over the ORIGINAL session so the report's span ids stay
+    // valid for Chrome-export highlighting (the scoped copy renumbers).
+    rep.critpath = extract_critical_path(session, run_root);
 
     check_params(rep, ctx.thresholds);
     check_utilization(rep, ctx.thresholds);
+    check_critpath(rep, ctx.thresholds);
     check_pool(rep, ctx);
     check_pipeline(rep, ctx);
     return rep;
@@ -193,6 +245,27 @@ void publish_obs(metrics::RegistrySnapshot& snap, const ObsReport& obs) {
                   obs.util.link_utilization);
     publish_gauge(snap, "hpu_obs_effective_bandwidth", "words per tick while transferring",
                   obs.util.effective_bandwidth);
+    publish_gauge(snap, "hpu_critpath_attempted",
+                  "critical-path extraction ran over the observed run (1 = yes)",
+                  obs.critpath.attempted ? 1.0 : 0.0);
+    if (!obs.critpath.attempted) return;
+    publish_gauge(snap, "hpu_critpath_steps", "spans on the critical path",
+                  static_cast<double>(obs.critpath.chain.size()));
+    publish_gauge(snap, "hpu_critpath_makespan_ticks", "observed run makespan (virtual ticks)",
+                  obs.critpath.makespan);
+    publish_gauge(snap, "hpu_critpath_cpu_share", "CPU share of the critical path",
+                  obs.critpath.cpu_share);
+    publish_gauge(snap, "hpu_critpath_gpu_share", "GPU share of the critical path",
+                  obs.critpath.gpu_share);
+    publish_gauge(snap, "hpu_critpath_link_share", "link share of the critical path",
+                  obs.critpath.link_share);
+    publish_gauge(snap, "hpu_critpath_hook_share", "hook share of the critical path",
+                  obs.critpath.hook_share);
+    publish_gauge(snap, "hpu_critpath_idle_share", "idle share of the critical path",
+                  obs.critpath.idle_share);
+    publish_gauge(snap, "hpu_critpath_dominant_share",
+                  "share of the single dominant critical-path resource",
+                  obs.critpath.dominant_share);
 }
 
 }  // namespace hpu::obs

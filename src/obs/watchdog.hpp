@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "metrics/registry.hpp"
+#include "obs/critpath.hpp"
 #include "obs/estimate.hpp"
 #include "trace/utilization.hpp"
 #include "util/thread_pool.hpp"
@@ -32,6 +33,7 @@ enum class FindingKind : std::uint8_t {
     kPoolInefficiency, ///< host pool workers mostly idle during the window
     kSubmitLatency,    ///< pool submit→first-claim p99 over the ceiling
     kPipelineFallback, ///< pipelined executor's never-worse guard fell back
+    kCritBottleneck,   ///< a drifted parameter's resource dominates the critical path
 };
 
 const char* to_string(FindingKind kind) noexcept;
@@ -58,6 +60,9 @@ struct WatchdogThresholds {
     double pool_efficiency_floor = 0.20;
     /// p99 ceiling for the pool's submit→first-claim latency.
     std::uint64_t submit_latency_p99_ns = 50'000'000;
+    /// Critical-path share a resource must hold before a drifted estimate
+    /// of its governing parameter escalates to kCritBottleneck.
+    double crit_share = 0.50;
 };
 
 /// Everything the watchdog needs besides the trace: the machine and
@@ -81,6 +86,9 @@ struct ObsReport {
     bool attempted = false;  ///< observe ran (trace present, root found)
     ParamFit fit{};
     trace::UtilizationReport util{};
+    /// Makespan blame decomposition of the observed run (span ids refer to
+    /// the original session, not the scoped copy).
+    CritPathReport critpath{};
     std::vector<ObsFinding> findings;
 
     bool clean() const noexcept { return findings.empty(); }

@@ -52,7 +52,10 @@ std::uint64_t wall_epoch_of(const TraceSession& session) noexcept {
     return epoch == ~std::uint64_t{0} ? 0 : epoch;
 }
 
-void write_args(std::ostream& os, const Span& s, std::uint64_t wall_epoch) {
+using ExtraArgs = std::vector<std::pair<std::string, double>>;
+
+void write_args(std::ostream& os, const Span& s, std::uint64_t wall_epoch,
+                const ExtraArgs* extra = nullptr) {
     os << "{\"kind\":\"" << to_string(s.kind) << "\",\"span_id\":" << s.id
        << ",\"parent\":" << s.parent;
     if (s.wall_ns != 0) {
@@ -75,12 +78,22 @@ void write_args(std::ostream& os, const Span& s, std::uint64_t wall_epoch) {
     }
     if (s.attrs.extent_words != 0) os << ",\"extent_words\":" << s.attrs.extent_words;
     if (s.attrs.imbalance != 0.0) os << ",\"imbalance\":" << s.attrs.imbalance;
+    if (extra != nullptr) {
+        for (const auto& [key, value] : *extra) {
+            os << ",\"" << json_escape(key) << "\":" << value;
+        }
+    }
     os << "}";
 }
 
 }  // namespace
 
 void export_chrome(const TraceSession& session, std::ostream& os) {
+    export_chrome(session, os, ChromeExtras{});
+}
+
+void export_chrome(const TraceSession& session, std::ostream& os,
+                   const ChromeExtras& extras) {
     // Full double precision so a re-imported trace (obs/trace_io.hpp) is
     // bit-faithful to the session it came from — a file diffed against
     // itself must be exactly empty.
@@ -97,11 +110,36 @@ void export_chrome(const TraceSession& session, std::ostream& os) {
     }
     const std::uint64_t wall_epoch = wall_epoch_of(session);
     for (const Span& s : session.spans()) {
+        const ExtraArgs* extra = nullptr;
+        if (!extras.span_args.empty()) {
+            auto it = extras.span_args.find(s.id);
+            if (it != extras.span_args.end()) extra = &it->second;
+        }
         os << ",{\"ph\":\"X\",\"name\":\"" << json_escape(s.label) << "\",\"cat\":\""
            << to_string(s.kind) << "\",\"pid\":0,\"tid\":" << track_of(s.unit)
            << ",\"ts\":" << s.start << ",\"dur\":" << s.duration() << ",\"args\":";
-        write_args(os, s, wall_epoch);
+        write_args(os, s, wall_epoch, extra);
         os << "}";
+    }
+    // Flow arrows from span end to span start: Perfetto draws them as
+    // connected arrows when the "s"/"f" pair shares an id. Span ids out of
+    // range are skipped rather than asserted — extras may outlive a
+    // cleared session.
+    int flow_id = 0;
+    for (const auto& [from_id, to_id] : extras.flows) {
+        if (from_id == kNoSpan || to_id == kNoSpan) continue;
+        if (from_id > session.spans().size() || to_id > session.spans().size()) continue;
+        const Span& from = session.span(from_id);
+        const Span& to = session.span(to_id);
+        ++flow_id;
+        os << ",{\"ph\":\"s\",\"cat\":\"" << json_escape(extras.flow_cat)
+           << "\",\"name\":\"" << json_escape(extras.flow_name) << "\",\"id\":" << flow_id
+           << ",\"pid\":0,\"tid\":" << track_of(from.unit) << ",\"ts\":" << from.end
+           << ",\"args\":{\"span_id\":" << from.id << "}}";
+        os << ",{\"ph\":\"f\",\"bp\":\"e\",\"cat\":\"" << json_escape(extras.flow_cat)
+           << "\",\"name\":\"" << json_escape(extras.flow_name) << "\",\"id\":" << flow_id
+           << ",\"pid\":0,\"tid\":" << track_of(to.unit) << ",\"ts\":" << to.start
+           << ",\"args\":{\"span_id\":" << to.id << "}}";
     }
     os << "]}\n";
     os.precision(prec);
@@ -132,9 +170,14 @@ void export_csv(const TraceSession& session, std::ostream& os) {
 }
 
 bool write_chrome_file(const TraceSession& session, const std::string& path) {
+    return write_chrome_file(session, path, ChromeExtras{});
+}
+
+bool write_chrome_file(const TraceSession& session, const std::string& path,
+                       const ChromeExtras& extras) {
     std::ofstream f(path);
     if (!f) return false;
-    export_chrome(session, f);
+    export_chrome(session, f, extras);
     return static_cast<bool>(f);
 }
 

@@ -8,12 +8,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <random>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "algos/binary_reduce.hpp"
 #include "algos/mergesort.hpp"
+#include "algos/quickhull.hpp"
 #include "core/hybrid.hpp"
 #include "core/pipeline.hpp"
 #include "model/advanced.hpp"
@@ -598,6 +600,62 @@ TEST(TraceIo, CopySubtreeExtractsOneRunOfMany) {
     sim::CpuUnit cpu2(platforms::hpu1().cpu);
     run_multicore(cpu2, alg, std::span(d3), fopts);
     EXPECT_TRUE(obs::diff_traces(fresh, sub).identical(0.0));
+}
+
+// ---------------------------------------------------------------------------
+// Irregular-tree diff regression: extent / imbalance carried through.
+
+TEST(Diff, IrregularQuickhullCarriesExtentAndImbalance) {
+    // Two quickhull runs over different point clouds: the dynamic task
+    // lists diverge in extent_words and imbalance, and the diff must carry
+    // both sides of those attributes through to its entries and the
+    // markdown rendering — a flat tick delta alone cannot tell a shrunk
+    // extent from a slower level.
+    auto points = [](std::uint64_t n, std::uint64_t seed) {
+        std::mt19937_64 rng(seed);
+        std::vector<algos::Pt> pts(n);
+        for (auto& p : pts) {
+            p.x = static_cast<std::int64_t>(rng() % 4096);
+            p.y = static_cast<std::int64_t>(rng() % 4096);
+        }
+        return pts;
+    };
+    algos::Quickhull alg;
+    trace::TraceSession base, cand;
+    {
+        sim::CpuUnit cpu(platforms::hpu1().cpu);
+        ExecOptions o;
+        o.trace = &base;
+        auto d = points(300, 17);
+        run_multicore(cpu, alg, std::span(d), o);
+    }
+    {
+        sim::CpuUnit cpu(platforms::hpu1().cpu);
+        ExecOptions o;
+        o.trace = &cand;
+        auto d = points(500, 99);
+        run_multicore(cpu, alg, std::span(d), o);
+    }
+
+    const obs::TraceDiff d = obs::diff_traces(base, cand);
+    bool extent_diverged = false, imbalance_carried = false;
+    for (const obs::DiffEntry& e : d.entries) {
+        if (e.base_extent_words > 0 && e.cand_extent_words > 0 &&
+            e.base_extent_words != e.cand_extent_words) {
+            extent_diverged = true;
+        }
+        if (e.base_imbalance > 0.0 || e.cand_imbalance > 0.0) imbalance_carried = true;
+    }
+    EXPECT_TRUE(extent_diverged) << "no matched entry carries diverging extents";
+    EXPECT_TRUE(imbalance_carried) << "no entry carries an imbalance value";
+
+    std::ostringstream md;
+    d.print_markdown(md);
+    EXPECT_NE(md.str().find("| span |"), std::string::npos);
+    EXPECT_NE(md.str().find("extent"), std::string::npos);
+    EXPECT_NE(md.str().find("imbalance"), std::string::npos);
+    // At least one row renders the base→cand imbalance transition.
+    EXPECT_NE(md.str().find("→"), std::string::npos);
 }
 
 }  // namespace

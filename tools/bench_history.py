@@ -16,7 +16,9 @@ runner hardware changes between commits.
 Usage:
   tools/bench_history.py append BENCH_wallclock.json \
       --history bench/history.jsonl --sha <git-sha> [--label msg]
-      # idempotent: re-appending the same SHA replaces the old record
+      [--max-entries N]
+      # idempotent: re-appending the same SHA replaces the old record;
+      # --max-entries prunes the file to the newest N records afterwards
   tools/bench_history.py report \
       --history bench/history.jsonl [--out BENCH_trajectory.json]
       [--markdown] [--last N]
@@ -105,10 +107,14 @@ def write_history(path, records):
     os.replace(tmp, path)
 
 
-def append(history_path, doc, sha, label=""):
-    """Appends (or replaces, for a re-run of the same SHA) one record."""
+def append(history_path, doc, sha, label="", max_entries=0):
+    """Appends (or replaces, for a re-run of the same SHA) one record.
+    max_entries > 0 prunes the file to the newest N records afterwards so
+    a long-lived trajectory never grows without bound."""
     records = [r for r in read_history(history_path) if r.get("sha") != sha]
     records.append(make_record(doc, sha, label))
+    if max_entries > 0:
+        records = records[-max_entries:]
     write_history(history_path, records)
     return records
 
@@ -222,6 +228,14 @@ def self_test():
         print_trend(rows, markdown=True, out=out)
         assert "| series |" in out.getvalue(), out.getvalue()
 
+        # --max-entries prunes from the front, keeping the newest runs.
+        append(hist, doc_a, "sha-c", max_entries=2)
+        records = read_history(hist)
+        assert [r["sha"] for r in records] == ["sha-b", "sha-c"], records
+        append(hist, doc_b, "sha-b", max_entries=2)  # replace + prune
+        records = read_history(hist)
+        assert [r["sha"] for r in records] == ["sha-c", "sha-b"], records
+
         # A corrupt line is a hard error, not silent data loss.
         with open(hist, "a", encoding="utf-8") as f:
             f.write("{nope\n")
@@ -248,6 +262,9 @@ def main():
                     help="history file, one JSON record per line")
     ap.add_argument("--sha", help="git commit SHA keying this run (append)")
     ap.add_argument("--label", default="", help="free-form note stored with the run")
+    ap.add_argument("--max-entries", type=int, default=0,
+                    help="after appending, keep only the newest N records "
+                         "(append; 0 = never prune)")
     ap.add_argument("--out", help="write BENCH_trajectory.json here (report)")
     ap.add_argument("--markdown", action="store_true",
                     help="emit the trend table as GitHub markdown (report)")
@@ -263,7 +280,8 @@ def main():
     if args.command == "append":
         if not args.artifact or not args.sha:
             fail("append needs BENCH_wallclock.json and --sha")
-        records = append(args.history, load_json(args.artifact), args.sha, args.label)
+        records = append(args.history, load_json(args.artifact), args.sha, args.label,
+                         args.max_entries)
         print(f"bench_history: appended {args.sha} "
               f"({len(records)} run(s) in {args.history})")
     elif args.command == "report":

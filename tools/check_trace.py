@@ -20,6 +20,16 @@ ancestor's (modulo the 1 ns clamp), and grouping-only spans (phase, wave)
 are never annotated. --require-wall turns "no annotated spans at all" into
 a failure, for fixtures that ran with --profile.
 
+Critical-path decorations (obs/critpath.hpp, exported through
+trace::ChromeExtras) are validated when present: flow events ("s"/"f"
+pairs sharing an id, each referencing a real span) must pair up one start
+with one finish, and every run root that carries the five crit_*_share
+blame args must have them sum to 1 (±1e-6) with a crit_chain count that
+matches the number of spans below it carrying a "crit" index. Those
+indices must be unique and contiguous 1..N, time-ordered, and inside the
+root's interval — the chain a viewer highlights is exactly the chain the
+extractor found. Undecorated exports skip all of this.
+
 Usage: tools/check_trace.py <trace.json> [--min-spans N] [--expect-chunks K]
                             [--require-wall]
        tools/check_trace.py --self-test
@@ -28,7 +38,8 @@ Usage: tools/check_trace.py <trace.json> [--min-spans N] [--expect-chunks K]
 irregular-tree export (dynamic task lists: uneven level widths, empty
 branches, per-level extent_words / imbalance args) — the shape contract is
 the same as for regular trees: run → phase → level → wave, every child
-nested in its parent.
+nested in its parent — and a critical-path-annotated variant plus the
+negative cases (broken chain index, blame shares off 1, dangling flow).
 """
 
 import argparse
@@ -50,6 +61,10 @@ EPS = 2e-5
 # to >= 1 ns, so a child measured as "immeasurably short" can overhang its
 # ancestor's measured interval by a few clamps.
 WALL_SLACK_NS = 16
+
+# Blame shares (crit_*_share) are written with max_digits10 and sum to 1
+# by construction; 1e-6 matches the bottleneck CLI's --check tolerance.
+SHARE_EPS = 1e-6
 
 
 def fail(msg):
@@ -156,6 +171,101 @@ def check_wall(complete, by_id, require_wall):
     return len(annotated)
 
 
+def check_flows(flows, by_id):
+    """Flow events come in "s"/"f" pairs sharing a numeric id, and each
+    endpoint's args.span_id must name a real span."""
+    by_flow_id = {}
+    for ev in flows:
+        sid = ev.get("args", {}).get("span_id")
+        if not isinstance(sid, int) or sid not in by_id:
+            fail(f"flow event (id {ev['id']}) references unknown span "
+                 f"{sid!r}")
+        phases = by_flow_id.setdefault(ev["id"], [])
+        if ev["ph"] in phases:
+            fail(f"flow id {ev['id']} has more than one '{ev['ph']}' event")
+        phases.append(ev["ph"])
+    for fid, phases in by_flow_id.items():
+        if sorted(phases) != ["f", "s"]:
+            fail(f"flow id {fid} is unpaired (has {phases}, want one 's' "
+                 f"and one 'f')")
+
+
+def crit_index(ev):
+    """The 1-based chain index of a decorated span, or None. The exporter
+    writes every extra arg as a double, so accept integral floats."""
+    v = ev["args"].get("crit")
+    if v is None:
+        return None
+    if not isinstance(v, (int, float)) or v != int(v) or v < 1:
+        fail(f"span {ev['args']['span_id']} ('{ev['name']}') has invalid "
+             f"crit index {v!r}")
+    return int(v)
+
+
+def check_critpath(complete, by_id):
+    """Validate obs/critpath.hpp decorations: each annotated run root
+    carries the five blame shares summing to 1 and a crit_chain count, and
+    the spans below it with "crit" indices form exactly one contiguous,
+    time-ordered chain 1..N inside the root's interval."""
+    def root_of(ev):
+        while ev["args"]["parent"] != 0:
+            ev = by_id[ev["args"]["parent"]]
+        return ev["args"]["span_id"]
+
+    share_keys = ["crit_cpu_share", "crit_gpu_share", "crit_link_share",
+                  "crit_hook_share", "crit_idle_share"]
+    chains = {}   # root span_id -> {index: event}
+    for ev in complete:
+        idx = crit_index(ev)
+        if idx is None:
+            continue
+        root = root_of(ev)
+        if idx in chains.setdefault(root, {}):
+            fail(f"duplicate crit index {idx} under root {root}")
+        chains[root][idx] = ev
+
+    annotated_roots = [ev for ev in complete
+                       if any(k in ev["args"] for k in share_keys)]
+    for root_ev in annotated_roots:
+        args = root_ev["args"]
+        sid = args["span_id"]
+        if args["parent"] != 0:
+            fail(f"span {sid} ('{root_ev['name']}') carries blame shares "
+                 f"but is not a root span")
+        for k in share_keys + ["crit_chain"]:
+            if not isinstance(args.get(k), (int, float)):
+                fail(f"root {sid} lacks numeric {k}")
+        total = sum(args[k] for k in share_keys)
+        if abs(total - 1.0) > SHARE_EPS:
+            fail(f"root {sid} blame shares sum to {total}, want 1")
+        chain = chains.pop(sid, {})
+        if args["crit_chain"] != len(chain):
+            fail(f"root {sid} declares crit_chain == {args['crit_chain']} "
+                 f"but {len(chain)} spans below it carry a crit index")
+        if chain and sorted(chain) != list(range(1, len(chain) + 1)):
+            fail(f"root {sid} crit indices {sorted(chain)} are not "
+                 f"contiguous 1..{len(chain)}")
+        lo, hi = root_ev["ts"], root_ev["ts"] + root_ev["dur"]
+        tol = EPS * max(abs(hi), 1.0)
+        prev_end = lo
+        for idx in sorted(chain):
+            ev = chain[idx]
+            if root_of(ev) != sid:
+                fail(f"crit step {idx} is outside root {sid}'s subtree")
+            if ev["ts"] < prev_end - tol:
+                fail(f"crit step {idx} ('{ev['name']}') starts at "
+                     f"{ev['ts']}, before step {idx - 1} ended ({prev_end})")
+            prev_end = ev["ts"] + ev["dur"]
+        if chain and prev_end > hi + tol:
+            fail(f"crit chain under root {sid} ends at {prev_end}, past "
+                 f"the root's end {hi}")
+    if chains:
+        root = next(iter(chains))
+        fail(f"spans under root {root} carry crit indices but the root "
+             f"has no blame-share annotation")
+    return len(annotated_roots)
+
+
 def check_doc(doc, min_spans=1, expect_chunks=None, require_wall=False):
     """The full shape check over a parsed export. Returns (spans, annotated,
     tracks); every violation goes through fail() and exits."""
@@ -169,6 +279,7 @@ def check_doc(doc, min_spans=1, expect_chunks=None, require_wall=False):
 
     tracks = {}
     complete = []
+    flows = []
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
             fail(f"event {i} is not an object")
@@ -188,6 +299,16 @@ def check_doc(doc, min_spans=1, expect_chunks=None, require_wall=False):
             if ev["tid"] not in tracks:
                 fail(f"event {i} ({ev['name']}) targets undeclared track {ev['tid']}")
             complete.append(ev)
+        elif ph in ("s", "f"):
+            for key in ("name", "cat", "id", "tid", "ts"):
+                if key not in ev:
+                    fail(f"flow event {i} ({ev.get('name', '?')}) lacks '{key}'")
+            if ph == "f" and ev.get("bp") != "e":
+                fail(f"flow finish event {i} lacks bp == 'e' (Perfetto drops "
+                     f"arrows that don't bind to the enclosing slice)")
+            if ev["tid"] not in tracks:
+                fail(f"flow event {i} targets undeclared track {ev['tid']}")
+            flows.append(ev)
         else:
             fail(f"event {i} has unexpected ph '{ph}'")
 
@@ -198,6 +319,8 @@ def check_doc(doc, min_spans=1, expect_chunks=None, require_wall=False):
 
     by_id = check_nesting(complete)
     annotated = check_wall(complete, by_id, require_wall)
+    check_flows(flows, by_id)
+    check_critpath(complete, by_id)
 
     if expect_chunks is not None:
         chunks = sum(1 for ev in complete
@@ -255,6 +378,41 @@ def irregular_fixture():
     return {"displayTimeUnit": "ms", "traceEvents": events}
 
 
+def crit_fixture():
+    """The irregular fixture with its critical path decorated the way
+    obs::add_to_extras does: "crit" chain indices on the chain spans, the
+    five blame shares + crit_chain on the run root, and an "s"/"f" flow
+    pair between each consecutive chain step."""
+    fix = irregular_fixture()
+    by_sid = {ev["args"]["span_id"]: ev for ev in fix["traceEvents"]
+              if ev.get("ph") == "X"}
+    # hook 0-2 -> levels 2-12, 12-32 -> xfer 32-36 -> gpu 36-66 ->
+    # xfer 66-70 -> level 70-92 -> hook 92-100: contiguous, covers the run.
+    chain = [2, 4, 5, 6, 8, 11, 12, 13]
+    for i, sid in enumerate(chain):
+        by_sid[sid]["args"]["crit"] = float(i + 1)
+    by_sid[1]["args"].update({
+        "crit_chain": float(len(chain)),
+        "crit_cpu_share": 0.52,   # levels 4, 5, 12: 10 + 20 + 22 ticks
+        "crit_gpu_share": 0.30,   # gpu-level 8
+        "crit_link_share": 0.08,  # xfer-in 6 + xfer-out 11
+        "crit_hook_share": 0.10,  # hooks 2 + 13
+        "crit_idle_share": 0.0,
+    })
+    for i in range(len(chain) - 1):
+        src, dst = by_sid[chain[i]], by_sid[chain[i + 1]]
+        common = {"name": "critical-path", "cat": "critpath", "id": i + 1,
+                  "pid": 1}
+        fix["traceEvents"].append(
+            {"ph": "s", "tid": src["tid"],
+             "ts": src["ts"] + src["dur"],
+             "args": {"span_id": chain[i]}, **common})
+        fix["traceEvents"].append(
+            {"ph": "f", "bp": "e", "tid": dst["tid"], "ts": dst["ts"],
+             "args": {"span_id": chain[i + 1]}, **common})
+    return fix
+
+
 def expect_fail(doc, why):
     """The negative half of the self-test: check_doc must exit non-zero
     (its failure message is swallowed — the rejection is the expectation)."""
@@ -290,8 +448,41 @@ def self_test():
                              if ev.get("args", {}).get("span_id") != 8]
     expect_fail(orphan, "wave with a missing parent level")
 
+    # The decorated export passes as-is...
+    crit = crit_fixture()
+    check_doc(crit, min_spans=13)
+
+    # ...but not with a hole punched in the chain indices,
+    broken = crit_fixture()
+    for ev in broken["traceEvents"]:
+        if ev.get("args", {}).get("crit") == 3.0:
+            ev["args"]["crit"] = 9.0
+    expect_fail(broken, "non-contiguous crit chain")
+
+    # nor with blame shares off 1,
+    off = crit_fixture()
+    for ev in off["traceEvents"]:
+        if "crit_cpu_share" in ev.get("args", {}):
+            ev["args"]["crit_cpu_share"] = 0.9
+    expect_fail(off, "blame shares summing past 1")
+
+    # nor with a flow arrow pointing at a span that doesn't exist,
+    dangling = crit_fixture()
+    next(ev for ev in dangling["traceEvents"]
+         if ev.get("ph") == "s")["args"]["span_id"] = 999
+    expect_fail(dangling, "flow referencing an unknown span")
+
+    # nor with chain indices whose root never got its blame shares.
+    bare = crit_fixture()
+    for ev in bare["traceEvents"]:
+        for k in list(ev.get("args", {})):
+            if k.startswith("crit_"):
+                del ev["args"][k]
+    expect_fail(bare, "crit chain without root shares")
+
     print(f"check_trace: self-test OK ({spans} fixture spans, irregular "
-          f"widths nest run -> phase -> level -> wave)")
+          f"widths nest run -> phase -> level -> wave; critical-path "
+          f"decorations round-trip and the broken variants are rejected)")
 
 
 def main():
